@@ -1,0 +1,18 @@
+//! Figure 10 — LeLA construction cost for the two preference functions.
+
+use criterion::{black_box, Criterion};
+use d3t_core::lela::{build_d3g, DelayMatrix, LelaConfig, PreferenceFunction};
+use d3t_core::workload::{Workload, WorkloadConfig};
+
+fn pref_fns(c: &mut Criterion) {
+    let workload = Workload::generate(&WorkloadConfig::paper(60, 30, 50.0), 3);
+    let delays = DelayMatrix::uniform(61, 25.0);
+    for (name, pf) in [("P1", PreferenceFunction::P1), ("P2", PreferenceFunction::P2)] {
+        c.bench_function(&format!("fig10/lela_{name}"), |b| {
+            let cfg = LelaConfig { pref_fn: pf, ..LelaConfig::new(4, 9) };
+            b.iter(|| black_box(build_d3g(&workload, &delays, &cfg)));
+        });
+    }
+}
+
+d3t_bench::quick_criterion!(cfg, pref_fns);

@@ -1,0 +1,47 @@
+//! Figure 11 — per-update cost of the dissemination filters, micro and
+//! end-to-end.
+
+use criterion::{black_box, Criterion};
+use d3t_bench::bench_config;
+use d3t_core::coherency::Coherency;
+use d3t_core::dissemination::{Disseminator, Protocol};
+use d3t_core::graph::D3g;
+use d3t_core::item::ItemId;
+use d3t_core::overlay::{NodeIdx, SOURCE};
+
+fn end_to_end(c: &mut Criterion) {
+    for (name, protocol) in
+        [("distributed", Protocol::Distributed), ("centralized", Protocol::Centralized)]
+    {
+        c.bench_function(&format!("fig11/run_{name}"), |b| {
+            let mut cfg = bench_config(50.0);
+            cfg.protocol = protocol;
+            b.iter(|| black_box(d3t_sim::run(&cfg)));
+        });
+    }
+}
+
+/// Micro: one source update through a 32-child star, per protocol.
+fn star_filter_micro(c: &mut Criterion) {
+    let n = 32;
+    let mut g = D3g::new(n, 1);
+    for i in 0..n {
+        g.add_edge(SOURCE, NodeIdx::repo(i), ItemId(0), Coherency::new(0.01 + i as f64 * 0.01));
+    }
+    for (name, protocol) in [
+        ("naive", Protocol::Naive),
+        ("distributed", Protocol::Distributed),
+        ("centralized", Protocol::Centralized),
+    ] {
+        c.bench_function(&format!("fig11/star32_source_update_{name}"), |b| {
+            let mut d = Disseminator::new(protocol, &g, &[10.0]);
+            let mut v = 10.0;
+            b.iter(|| {
+                v += 0.02;
+                black_box(d.on_source_update(&g, ItemId(0), v))
+            });
+        });
+    }
+}
+
+d3t_bench::quick_criterion!(cfg, end_to_end, star_filter_micro);

@@ -1,0 +1,18 @@
+//! Figure 3 — simulation cost across the degree-of-cooperation axis.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_bench::bench_config;
+
+fn degree_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    for degree in [1usize, 4, 20] {
+        group.bench_with_input(BenchmarkId::new("run_T50_degree", degree), &degree, |b, &d| {
+            let mut cfg = bench_config(50.0);
+            cfg.coop_res = d;
+            b.iter(|| black_box(d3t_sim::run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+d3t_bench::quick_criterion!(cfg, degree_sweep);

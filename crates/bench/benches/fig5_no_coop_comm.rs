@@ -1,0 +1,24 @@
+//! Figure 5 — flat-tree runs under swept communication delays.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_bench::bench_config;
+use d3t_sim::TreeStrategy;
+
+fn comm_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    for comm in [5.0f64, 125.0] {
+        group.bench_with_input(
+            BenchmarkId::new("flat_T100_comm_ms", comm as u64),
+            &comm,
+            |b, &comm| {
+                let mut cfg = bench_config(100.0);
+                cfg.tree = TreeStrategy::Flat;
+                cfg.target_mean_comm_delay_ms = Some(comm);
+                b.iter(|| black_box(d3t_sim::run(&cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+d3t_bench::quick_criterion!(cfg, comm_sweep);

@@ -1,0 +1,24 @@
+//! Figure 6 — flat-tree runs under swept computational delays.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_bench::bench_config;
+use d3t_sim::TreeStrategy;
+
+fn comp_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    for comp in [1.0f64, 12.5, 25.0] {
+        group.bench_with_input(
+            BenchmarkId::new("flat_T100_comp_ms", format!("{comp}")),
+            &comp,
+            |b, &comp| {
+                let mut cfg = bench_config(100.0);
+                cfg.tree = TreeStrategy::Flat;
+                cfg.comp_delay_ms = comp;
+                b.iter(|| black_box(d3t_sim::run(&cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+d3t_bench::quick_criterion!(cfg, comp_sweep);

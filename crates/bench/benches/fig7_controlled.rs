@@ -1,0 +1,26 @@
+//! Figures 7a/7b/7c — controlled-cooperation runs (Eq. 2 in the loop).
+
+use criterion::{black_box, Criterion};
+use d3t_bench::bench_config;
+use d3t_core::coop::{controlled_degree, CoopParams};
+
+fn controlled_run(c: &mut Criterion) {
+    c.bench_function("fig7/controlled_run_T100", |b| {
+        let mut cfg = bench_config(100.0);
+        cfg.coop_res = cfg.n_repos;
+        cfg.controlled = true;
+        b.iter(|| black_box(d3t_sim::run(&cfg)));
+    });
+}
+
+fn eq2_formula(c: &mut Criterion) {
+    c.bench_function("fig7/eq2_controlled_degree", |b| {
+        b.iter(|| {
+            for comm in 1..=125 {
+                black_box(controlled_degree(CoopParams::new(comm as f64, 12.5, 100)));
+            }
+        });
+    });
+}
+
+d3t_bench::quick_criterion!(cfg, controlled_run, eq2_formula);

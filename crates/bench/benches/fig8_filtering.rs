@@ -1,0 +1,22 @@
+//! Figure 8 — flooding vs coherency-filtered dissemination.
+
+use criterion::{black_box, Criterion};
+use d3t_bench::bench_config;
+use d3t_core::dissemination::Protocol;
+
+fn flood_run(c: &mut Criterion) {
+    c.bench_function("fig8/flood_all", |b| {
+        let mut cfg = bench_config(50.0);
+        cfg.protocol = Protocol::FloodAll;
+        b.iter(|| black_box(d3t_sim::run(&cfg)));
+    });
+}
+
+fn filtered_run(c: &mut Criterion) {
+    c.bench_function("fig8/filtered_distributed", |b| {
+        let cfg = bench_config(50.0);
+        b.iter(|| black_box(d3t_sim::run(&cfg)));
+    });
+}
+
+d3t_bench::quick_criterion!(cfg, flood_run, filtered_run);

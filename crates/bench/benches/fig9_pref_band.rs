@@ -1,0 +1,24 @@
+//! Figure 9 — LeLA construction cost across preference-band widths.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_core::lela::{build_d3g, DelayMatrix, LelaConfig};
+use d3t_core::workload::{Workload, WorkloadConfig};
+
+fn band_sweep(c: &mut Criterion) {
+    let workload = Workload::generate(&WorkloadConfig::paper(60, 30, 50.0), 3);
+    let delays = DelayMatrix::uniform(61, 25.0);
+    let mut group = c.benchmark_group("fig9");
+    for band in [1.0f64, 5.0, 25.0] {
+        group.bench_with_input(
+            BenchmarkId::new("lela_band_pct", band as u64),
+            &band,
+            |b, &band| {
+                let cfg = LelaConfig { pref_band_pct: band, ..LelaConfig::new(4, 9) };
+                b.iter(|| black_box(build_d3g(&workload, &delays, &cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+d3t_bench::quick_criterion!(cfg, band_sweep);

@@ -1,0 +1,44 @@
+//! §6.3.5 — cost of growing the system (repositories and network), plus
+//! the network substrate itself (topology + shortest paths).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_net::apsp::Apsp;
+use d3t_net::{NetworkConfig, PhysicalNetwork, Topology};
+use d3t_sim::SimConfig;
+
+fn sim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    for repos in [10usize, 30] {
+        group.bench_with_input(BenchmarkId::new("run_repos", repos), &repos, |b, &r| {
+            let mut cfg = SimConfig::small_for_tests(r, 10, 300, 50.0);
+            cfg.controlled = true;
+            cfg.coop_res = r;
+            b.iter(|| black_box(d3t_sim::run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn network_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    for nodes in [140usize, 700] {
+        group.bench_with_input(
+            BenchmarkId::new("network_gen_nodes", nodes),
+            &nodes,
+            |b, &n| {
+                let cfg = NetworkConfig::small(n, n / 7);
+                b.iter(|| black_box(PhysicalNetwork::generate(&cfg, 5)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn floyd_warshall(c: &mut Criterion) {
+    let topo = Topology::random(150, 3.0, 4, |_| 2.0);
+    c.bench_function("scale/floyd_warshall_150", |b| {
+        b.iter(|| black_box(Apsp::floyd_warshall(&topo)));
+    });
+}
+
+d3t_bench::quick_criterion!(cfg, sim_scaling, network_generation, floyd_warshall);

@@ -1,0 +1,36 @@
+//! Table 1 — cost of generating and summarizing the trace ensemble.
+
+use criterion::{black_box, Criterion};
+use d3t_traces::{generate_ensemble, table1_profiles, EnsembleConfig};
+
+fn table1_profiles_bench(c: &mut Criterion) {
+    c.bench_function("table1/profile_traces_10k", |b| {
+        let profiles = table1_profiles();
+        b.iter(|| {
+            for (i, p) in profiles.iter().enumerate() {
+                let t = p.generate(10_000, 42 + i as u64);
+                black_box(t.stats());
+            }
+        });
+    });
+}
+
+fn ensemble_bench(c: &mut Criterion) {
+    c.bench_function("table1/ensemble_20x2000", |b| {
+        let cfg = EnsembleConfig::small(20, 2000);
+        b.iter(|| black_box(generate_ensemble(&cfg, 7)));
+    });
+}
+
+fn stats_bench(c: &mut Criterion) {
+    let cfg = EnsembleConfig::small(1, 10_000);
+    let trace = generate_ensemble(&cfg, 3).pop().unwrap();
+    c.bench_function("table1/stats_10k_ticks", |b| {
+        b.iter(|| black_box(trace.stats()));
+    });
+    c.bench_function("table1/changes_10k_ticks", |b| {
+        b.iter(|| black_box(trace.changes().len()));
+    });
+}
+
+d3t_bench::quick_criterion!(cfg, table1_profiles_bench, ensemble_bench, stats_bench);

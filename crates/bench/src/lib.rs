@@ -1,0 +1,45 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Every table and figure of the paper has a bench target that exercises
+//! the code paths regenerating it, at a miniature scale chosen so the full
+//! `cargo bench` completes in minutes. The *numbers* the paper reports are
+//! produced by the `repro` binary of `d3t-experiments`; the benches track
+//! the *cost* of producing them (simulation throughput, construction time,
+//! filter latency) so performance regressions in the reproduction stack
+//! are caught.
+
+use d3t_experiments::Scale;
+use d3t_sim::SimConfig;
+
+/// The scale every figure bench runs at.
+pub fn bench_scale() -> Scale {
+    let mut s = Scale::tiny();
+    s.n_ticks = 300;
+    s
+}
+
+/// A base simulation config at bench scale.
+pub fn bench_config(t: f64) -> SimConfig {
+    let mut cfg = bench_scale().base_config();
+    cfg.t_stringent_pct = t;
+    cfg
+}
+
+/// Criterion settings shared by all targets: keep wall-time bounded.
+#[macro_export]
+macro_rules! quick_criterion {
+    ($group:ident, $($target:ident),+ $(,)?) => {
+        fn $group() -> criterion::Criterion {
+            criterion::Criterion::default()
+                .sample_size(10)
+                .warm_up_time(std::time::Duration::from_millis(300))
+                .measurement_time(std::time::Duration::from_millis(1200))
+        }
+        criterion::criterion_group! {
+            name = benches;
+            config = $group();
+            targets = $($target),+
+        }
+        criterion::criterion_main!(benches);
+    };
+}

@@ -1,0 +1,83 @@
+//! The distributed (repository-based) filter — §5.1, Eqs. (3) and (7).
+//!
+//! # Derivation of Eq. (7)
+//!
+//! Suppose `p` holds value `v_p` and its dependent `q` last received
+//! `v_q`. The next source value `s` might satisfy `|s − v_p| ≤ c_p`
+//! (so `p` never hears about it) while violating `q`'s tolerance,
+//! `|s − v_q| > c_q`. By the triangle inequality
+//! `|s − v_q| ≤ |s − v_p| + |v_p − v_q| ≤ c_p + |v_p − v_q|`, so the
+//! dangerous situation can only arise when
+//!
+//! ```text
+//! |v_p − v_q| > c_q − c_p          (Eq. 7)
+//! ```
+//!
+//! Hence `p` must push its current value to `q` whenever that inequality
+//! holds. Because `c_p ≤ c_q` along every d3g edge (Eq. 1), the threshold
+//! is non-negative, and Eq. (7) subsumes Eq. (3) (`c_q − c_p ≤ c_q`):
+//! testing `|v − last_q| > c_q − c_p` implements "Eq. (3) or Eq. (7)" in a
+//! single comparison.
+//!
+//! In the paper's Figure 4 example (`c_p = 0.3`, `c_q = 0.5`, values
+//! 1.0 → 1.4), `|1.4 − 1.0| = 0.4 > 0.2`, so the 1.4 update is pushed to
+//! `q` even though `q`'s own tolerance is not yet violated — precisely the
+//! "rescue" push the paper highlights.
+
+use crate::coherency::Coherency;
+
+/// Eq. (3) ∨ Eq. (7): forward iff `|value − last_sent| > c_child − c_self`.
+#[inline]
+pub fn should_forward(value: f64, last_sent: f64, c_self: Coherency, c_child: Coherency) -> bool {
+    debug_assert!(
+        c_self.at_least_as_stringent_as(c_child),
+        "Eq.(1) must hold on every dissemination edge"
+    );
+    (value - last_sent).abs() > c_child.value() - c_self.value() + crate::coherency::VALUE_EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsumes_eq3() {
+        let c_p = Coherency::new(0.3);
+        let c_q = Coherency::new(0.5);
+        // Anything Eq. (3) forwards, Eq. (7) forwards too.
+        for (v, last) in [(1.6, 1.0), (0.4, 1.0), (2.0, 1.0)] {
+            assert!(c_q.violated_by(v, last));
+            assert!(should_forward(v, last, c_p, c_q));
+        }
+    }
+
+    #[test]
+    fn fires_in_the_figure4_gap() {
+        let c_p = Coherency::new(0.3);
+        let c_q = Coherency::new(0.5);
+        // 0.2 < |1.4 - 1.0| = 0.4 <= 0.5: Eq.(3) silent, Eq.(7) fires.
+        assert!(!c_q.violated_by(1.4, 1.0));
+        assert!(should_forward(1.4, 1.0, c_p, c_q));
+    }
+
+    #[test]
+    fn silent_when_safely_within_margin() {
+        let c_p = Coherency::new(0.3);
+        let c_q = Coherency::new(0.5);
+        assert!(!should_forward(1.15, 1.0, c_p, c_q), "0.15 <= 0.2");
+    }
+
+    #[test]
+    fn equal_tolerances_forward_every_change() {
+        let c = Coherency::new(0.2);
+        assert!(should_forward(1.0001, 1.0, c, c), "margin 0 forwards any change");
+        assert!(!should_forward(1.0, 1.0, c, c));
+    }
+
+    #[test]
+    fn source_case_reduces_to_eq3() {
+        let c_q = Coherency::new(0.5);
+        assert_eq!(should_forward(1.4, 1.0, Coherency::EXACT, c_q), c_q.violated_by(1.4, 1.0));
+        assert!(should_forward(1.6, 1.0, Coherency::EXACT, c_q));
+    }
+}

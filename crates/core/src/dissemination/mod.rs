@@ -1,0 +1,358 @@
+//! Update-dissemination protocols — §5 of the paper.
+//!
+//! Given a constructed d3g, a node receiving an update must decide which
+//! dependents to push it to. Three policies are implemented:
+//!
+//! * [`naive`] — Eq. (3) only: push to `q` iff `|v − last_q| > c_q`.
+//!   Necessary but **not sufficient**; Figure 4 of the paper (reproduced in
+//!   this module's tests) shows it silently strands dependents.
+//! * [`distributed`] — Eq. (3) ∨ Eq. (7): push iff
+//!   `|v − last_q| > c_q − c_p`. Guarantees no missed updates with only
+//!   per-edge state.
+//! * [`centralized`] — the source tags each update with the largest
+//!   violated coherency tolerance in the system; repositories forward by
+//!   comparing their dependents' tolerances against the tag.
+//!
+//! All protocol state lives in [`Disseminator`], which is driven either by
+//! the discrete-event simulator (`d3t-sim`) or directly (zero-delay
+//! semantics) via [`Disseminator::run_zero_delay`] — the configuration
+//! under which the paper proves both non-naive protocols achieve 100%
+//! fidelity.
+
+pub mod centralized;
+pub mod distributed;
+pub mod naive;
+
+use serde::{Deserialize, Serialize};
+
+use crate::coherency::Coherency;
+use crate::graph::D3g;
+use crate::item::ItemId;
+use crate::overlay::{NodeIdx, SOURCE};
+
+/// Which dissemination policy a [`Disseminator`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Eq. (3) only — the strawman with the missed-updates problem.
+    Naive,
+    /// Eq. (3) ∨ Eq. (7) — the repository-based approach (§5.1).
+    Distributed,
+    /// Source-tagged dissemination — the source-based approach (§5.2).
+    Centralized,
+    /// Push every source update to every interested repository, ignoring
+    /// tolerances. Emulates the unfiltered system of Figure 8.
+    FloodAll,
+}
+
+/// One update traveling through the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// The item that changed.
+    pub item: ItemId,
+    /// Its new value.
+    pub value: f64,
+    /// Tag attached by the centralized source: the largest violated
+    /// tolerance. `None` for the other protocols.
+    pub tag: Option<Coherency>,
+}
+
+/// The forwarding decision a node makes for one incoming update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forwarding {
+    /// Dependents the update must be pushed to.
+    pub to: Vec<NodeIdx>,
+    /// The update as it should be forwarded (tag preserved).
+    pub update: Update,
+    /// Number of filter evaluations performed making this decision —
+    /// the "checks" metric of Figure 11.
+    pub checks: u64,
+}
+
+/// All per-node protocol state for one d3g.
+///
+/// `last_sent[(parent-side) item][child]` bookkeeping lives with the
+/// *sender*, exactly as §5.1 describes: a repository `p` remembers, per
+/// dependent `q` and item, the last value it pushed to `q`.
+#[derive(Debug, Clone)]
+pub struct Disseminator {
+    protocol: Protocol,
+    /// `last_sent[item][node]`: last value this node *received* (for the
+    /// source: the last raw value). Because each node has exactly one
+    /// parent per item, the sender-side record of "last sent to q" equals
+    /// the receiver-side record of "last received by q"; storing it once,
+    /// receiver-indexed, keeps the state linear in nodes.
+    last_received: Vec<Vec<f64>>,
+    /// Centralized-only: per item, the sorted list of unique tolerances
+    /// present in the d3g with the last value disseminated for each.
+    source_lists: Vec<Vec<(Coherency, f64)>>,
+    n_items: usize,
+}
+
+impl Disseminator {
+    /// Initializes protocol state for `d3g`, with every node assumed
+    /// coherent at `initial_values[item]` (the first tick of each trace).
+    pub fn new(protocol: Protocol, d3g: &D3g, initial_values: &[f64]) -> Self {
+        assert_eq!(initial_values.len(), d3g.n_items(), "one initial value per item");
+        let n_items = d3g.n_items();
+        let last_received: Vec<Vec<f64>> = (0..n_items)
+            .map(|i| vec![initial_values[i]; d3g.n_nodes()])
+            .collect();
+        let source_lists = if protocol == Protocol::Centralized {
+            (0..n_items)
+                .map(|i| {
+                    let item = ItemId(i as u32);
+                    let mut cs: Vec<Coherency> = (1..d3g.n_nodes())
+                        .filter_map(|n| d3g.effective(NodeIdx(n as u32), item))
+                        .collect();
+                    cs.sort();
+                    cs.dedup();
+                    cs.into_iter().map(|c| (c, initial_values[i])).collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self { protocol, last_received, source_lists, n_items }
+    }
+
+    /// The protocol in force.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Handles a raw source tick: decides which of the source's dependents
+    /// receive the update.
+    pub fn on_source_update(&mut self, d3g: &D3g, item: ItemId, value: f64) -> Forwarding {
+        match self.protocol {
+            Protocol::Centralized => self.centralized_source(d3g, item, value),
+            Protocol::Naive | Protocol::Distributed => {
+                self.last_received[item.index()][SOURCE.index()] = value;
+                self.per_child_filter(d3g, SOURCE, Update { item, value, tag: None })
+            }
+            Protocol::FloodAll => {
+                self.last_received[item.index()][SOURCE.index()] = value;
+                self.flood(d3g, SOURCE, Update { item, value, tag: None })
+            }
+        }
+    }
+
+    /// Handles an update arriving at repository `node`: records the new
+    /// local value and decides which dependents to forward to.
+    pub fn on_repo_update(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
+        assert!(!node.is_source(), "use on_source_update for the source");
+        self.last_received[update.item.index()][node.index()] = update.value;
+        match self.protocol {
+            Protocol::Centralized => centralized::forward(self, d3g, node, update),
+            Protocol::Naive | Protocol::Distributed => self.per_child_filter(d3g, node, update),
+            Protocol::FloodAll => self.flood(d3g, node, update),
+        }
+    }
+
+    /// The last value `node` received for `item` (its current copy).
+    pub fn value_at(&self, node: NodeIdx, item: ItemId) -> f64 {
+        self.last_received[item.index()][node.index()]
+    }
+
+    fn per_child_filter(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
+        let decide = match self.protocol {
+            Protocol::Naive => naive::should_forward,
+            Protocol::Distributed => distributed::should_forward,
+            _ => unreachable!("per_child_filter only serves naive/distributed"),
+        };
+        let c_self = if node.is_source() {
+            Coherency::EXACT
+        } else {
+            d3g.effective(node, update.item)
+                .expect("node received an item it does not hold")
+        };
+        let mut to = Vec::new();
+        let mut checks = 0u64;
+        for &child in d3g.children_of(node, update.item) {
+            checks += 1;
+            let c_child = d3g
+                .effective(child, update.item)
+                .expect("child subscribed to an item it does not hold");
+            let last = self.last_received[update.item.index()][child.index()];
+            if decide(update.value, last, c_self, c_child) {
+                to.push(child);
+            }
+        }
+        Forwarding { to, update, checks }
+    }
+
+    fn flood(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
+        let to: Vec<NodeIdx> = d3g.children_of(node, update.item).to_vec();
+        let checks = to.len() as u64;
+        Forwarding { to, update, checks }
+    }
+
+    fn centralized_source(&mut self, d3g: &D3g, item: ItemId, value: f64) -> Forwarding {
+        self.last_received[item.index()][SOURCE.index()] = value;
+        let (tag, checks) = centralized::tag_update(self, item, value);
+        match tag {
+            None => Forwarding { to: Vec::new(), update: Update { item, value, tag: None }, checks },
+            Some(tag) => {
+                let update = Update { item, value, tag: Some(tag) };
+                let mut fwd = centralized::forward(self, d3g, SOURCE, update);
+                fwd.checks += checks;
+                fwd
+            }
+        }
+    }
+
+    /// Runs a whole multi-item update sequence through the overlay with
+    /// zero communication and computation delays, returning the final
+    /// value each node holds plus aggregate message/check counts.
+    ///
+    /// This is the semantics under which the paper argues the distributed
+    /// and centralized protocols achieve 100% fidelity; the property tests
+    /// verify exactly that claim.
+    pub fn run_zero_delay(
+        &mut self,
+        d3g: &D3g,
+        updates: impl IntoIterator<Item = (ItemId, f64)>,
+    ) -> ZeroDelayOutcome {
+        let mut messages = 0u64;
+        let mut checks = 0u64;
+        let mut on_violation: Vec<(ItemId, f64)> = Vec::new();
+        for (item, value) in updates {
+            let fwd = self.on_source_update(d3g, item, value);
+            checks += fwd.checks;
+            let mut queue: Vec<(NodeIdx, Update)> =
+                fwd.to.iter().map(|&n| (n, fwd.update)).collect();
+            while let Some((node, update)) = queue.pop() {
+                messages += 1;
+                let f = self.on_repo_update(d3g, node, update);
+                checks += f.checks;
+                queue.extend(f.to.iter().map(|&n| (n, f.update)));
+            }
+            // After the cascade settles, record any coherency violation.
+            for n in 1..d3g.n_nodes() {
+                let node = NodeIdx(n as u32);
+                if let Some(c) = d3g.effective(node, item) {
+                    if c.violated_by(value, self.value_at(node, item)) {
+                        on_violation.push((item, value));
+                    }
+                }
+            }
+        }
+        ZeroDelayOutcome { messages, checks, violations: on_violation }
+    }
+
+    /// Number of items covered.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    pub(crate) fn source_list_mut(&mut self, item: ItemId) -> &mut Vec<(Coherency, f64)> {
+        &mut self.source_lists[item.index()]
+    }
+}
+
+/// Result of a zero-delay cascade run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroDelayOutcome {
+    /// Total update transmissions.
+    pub messages: u64,
+    /// Total filter evaluations.
+    pub checks: u64,
+    /// `(item, source value)` pairs for which some repository ended the
+    /// cascade outside its tolerance — must be empty for the distributed
+    /// and centralized protocols.
+    pub violations: Vec<(ItemId, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn c(v: f64) -> Coherency {
+        Coherency::new(v)
+    }
+
+    /// The exact Figure-4 scenario: S → P (c=0.3) → Q (c=0.5), values
+    /// 1.0, 1.2, 1.4, 1.5, 1.7, 2.0.
+    fn figure4_graph() -> (D3g, NodeIdx, NodeIdx) {
+        let w = Workload::from_needs(vec![vec![Some(c(0.3))], vec![Some(c(0.5))]]);
+        let mut g = D3g::new(w.n_repos(), 1);
+        let (p, q) = (NodeIdx::repo(0), NodeIdx::repo(1));
+        g.add_edge(SOURCE, p, ItemId(0), c(0.3));
+        g.add_edge(p, q, ItemId(0), c(0.5));
+        (g, p, q)
+    }
+
+    #[test]
+    fn figure4_naive_misses_an_update() {
+        let (g, _p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Naive, &g, &[1.0]);
+        let out = d.run_zero_delay(&g, [1.2, 1.4, 1.5, 1.7, 2.0].map(|v| (ItemId(0), v)));
+        // Per the paper: Q should have been within 0.5 of 1.5, but the 1.4
+        // update never reached it, so when the source hits 1.7 Q still
+        // holds 1.0 — a violation.
+        assert_eq!(
+            out.violations,
+            vec![(ItemId(0), 1.7)],
+            "the 1.7 source value must strand Q at 1.0, exactly as Figure 4 shows"
+        );
+        // The later 2.0 update does reach Q — the violation was transient,
+        // which is why fidelity (a time fraction) is the right metric.
+        assert_eq!(d.value_at(q, ItemId(0)), 2.0);
+    }
+
+    #[test]
+    fn figure4_distributed_pushes_the_rescue_update() {
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        // 1.2: within 0.3 of 1.0 → P doesn't even get it.
+        let f = d.on_source_update(&g, ItemId(0), 1.2);
+        assert!(f.to.is_empty());
+        // 1.4: |1.4-1.0| > 0.3 → P gets it; P must forward to Q because
+        // |1.4 - 1.0| = 0.4 > c_q - c_p = 0.2 (Eq. 7), even though Eq. 3
+        // alone (0.4 > 0.5) would not fire.
+        let f = d.on_source_update(&g, ItemId(0), 1.4);
+        assert_eq!(f.to, vec![p]);
+        let f = d.on_repo_update(&g, p, f.update);
+        assert_eq!(f.to, vec![q], "Eq.(7) must push 1.4 to Q");
+        let f = d.on_repo_update(&g, q, f.update);
+        assert!(f.to.is_empty());
+        assert_eq!(d.value_at(q, ItemId(0)), 1.4);
+    }
+
+    #[test]
+    fn figure4_distributed_full_run_has_no_violations() {
+        let (g, _, _) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let out = d.run_zero_delay(&g, [1.2, 1.4, 1.5, 1.7, 2.0].map(|v| (ItemId(0), v)));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn figure4_centralized_full_run_has_no_violations() {
+        let (g, _, _) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        let out = d.run_zero_delay(&g, [1.2, 1.4, 1.5, 1.7, 2.0].map(|v| (ItemId(0), v)));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn flood_forwards_everything() {
+        let (g, p, _q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::FloodAll, &g, &[1.0]);
+        let f = d.on_source_update(&g, ItemId(0), 1.01);
+        assert_eq!(f.to, vec![p], "flood ignores tolerances");
+    }
+
+    #[test]
+    fn value_at_tracks_received_updates() {
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        assert_eq!(d.value_at(q, ItemId(0)), 1.0);
+        let f = d.on_source_update(&g, ItemId(0), 2.0);
+        assert_eq!(f.to, vec![p]);
+        let f = d.on_repo_update(&g, p, f.update);
+        let _ = d.on_repo_update(&g, q, f.update);
+        assert_eq!(d.value_at(p, ItemId(0)), 2.0);
+        assert_eq!(d.value_at(q, ItemId(0)), 2.0);
+    }
+}

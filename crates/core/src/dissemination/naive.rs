@@ -1,0 +1,41 @@
+//! The Eq.(3)-only strawman filter.
+//!
+//! §5 of the paper: an update received by `p` is forwarded to dependent
+//! `q` when `|v − last_q| > c_q`. This condition is *necessary* — any
+//! update violating `q`'s tolerance must be pushed — but not *sufficient*:
+//! the source may later produce a value that `p` never receives (being
+//! within `c_p` of `p`'s copy) yet violates `q`'s tolerance relative to
+//! `q`'s stale copy. Figure 4 of the paper walks through the failure; the
+//! tests in [`super`] reproduce it.
+
+use crate::coherency::Coherency;
+
+/// Eq. (3): forward iff the new value violates the child's tolerance with
+/// respect to what the child last received.
+#[inline]
+pub fn should_forward(value: f64, last_sent: f64, _c_self: Coherency, c_child: Coherency) -> bool {
+    c_child.violated_by(value, last_sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_only_on_violation() {
+        let c_p = Coherency::new(0.3);
+        let c_q = Coherency::new(0.5);
+        assert!(!should_forward(1.4, 1.0, c_p, c_q), "0.4 <= 0.5: naive stays silent");
+        assert!(should_forward(1.6, 1.0, c_p, c_q));
+        assert!(should_forward(0.4, 1.0, c_p, c_q));
+    }
+
+    #[test]
+    fn ignores_own_coherency() {
+        let c_q = Coherency::new(0.5);
+        assert_eq!(
+            should_forward(1.4, 1.0, Coherency::EXACT, c_q),
+            should_forward(1.4, 1.0, Coherency::new(0.49), c_q)
+        );
+    }
+}

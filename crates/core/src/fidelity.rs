@@ -1,0 +1,311 @@
+//! The fidelity metric — §6.2 of the paper.
+//!
+//! Fidelity of a (repository, item) pair is the fraction of observation
+//! time during which `|P(t) − S(t)| ≤ c`. Both `S` (source) and `P`
+//! (repository copy) are piecewise-constant, so the deviation only changes
+//! at source ticks and repository-arrival instants; the tracker does exact
+//! interval accounting over those events.
+//!
+//! Aggregation follows the paper: "The fidelity of a repository is the mean
+//! fidelity over all data items stored at that repository, while the
+//! overall fidelity of the system is the mean fidelity of all
+//! repositories." Results are reported as **loss of fidelity** =
+//! `100·(1 − fidelity)` percent.
+//!
+//! Only *user* needs are measured: items a repository carries purely to
+//! relay to dependents (LeLA augmentation) do not contribute to its
+//! fidelity, matching the paper's user-centric definition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coherency::Coherency;
+use crate::item::ItemId;
+use crate::overlay::NodeIdx;
+use crate::workload::Workload;
+
+/// One measured (repository, item) stream.
+#[derive(Debug, Clone)]
+struct PairState {
+    repo: usize,
+    item: u32,
+    c: Coherency,
+    repo_value: f64,
+    violation_started: Option<f64>,
+    violation_total_ms: f64,
+}
+
+/// Exact interval-accounting fidelity tracker.
+#[derive(Debug, Clone)]
+pub struct FidelityTracker {
+    n_repos: usize,
+    /// Current source value per item.
+    source_value: Vec<f64>,
+    pairs: Vec<PairState>,
+    /// `pair_index[item]` → indices into `pairs` of every measured pair on
+    /// that item (touched on each source tick).
+    pairs_by_item: Vec<Vec<usize>>,
+    /// `pair_of[repo][item]` → index into `pairs`, `usize::MAX` if
+    /// unmeasured.
+    pair_of: Vec<Vec<usize>>,
+    start_ms: f64,
+}
+
+impl FidelityTracker {
+    /// Starts tracking at time `start_ms` with every repository coherent at
+    /// `initial_values[item]`.
+    pub fn new(workload: &Workload, initial_values: &[f64], start_ms: f64) -> Self {
+        assert_eq!(initial_values.len(), workload.n_items(), "one initial value per item");
+        let n_items = workload.n_items();
+        let mut pairs = Vec::new();
+        let mut pairs_by_item = vec![Vec::new(); n_items];
+        let mut pair_of = vec![vec![usize::MAX; n_items]; workload.n_repos()];
+        for (repo, row) in pair_of.iter_mut().enumerate() {
+            for (item, c) in workload.items_of(repo) {
+                let idx = pairs.len();
+                pairs.push(PairState {
+                    repo,
+                    item: item.0,
+                    c,
+                    repo_value: initial_values[item.index()],
+                    violation_started: None,
+                    violation_total_ms: 0.0,
+                });
+                pairs_by_item[item.index()].push(idx);
+                row[item.index()] = idx;
+            }
+        }
+        Self {
+            n_repos: workload.n_repos(),
+            source_value: initial_values.to_vec(),
+            pairs,
+            pairs_by_item,
+            pair_of,
+            start_ms,
+        }
+    }
+
+    /// Records a new source value at time `at_ms` and re-evaluates every
+    /// measured pair on the item.
+    pub fn source_update(&mut self, at_ms: f64, item: ItemId, value: f64) {
+        self.source_value[item.index()] = value;
+        // Split borrows: the index list is read while pair states mutate.
+        let indices = std::mem::take(&mut self.pairs_by_item[item.index()]);
+        for &i in &indices {
+            let p = &mut self.pairs[i];
+            Self::transition(p, at_ms, value);
+        }
+        self.pairs_by_item[item.index()] = indices;
+    }
+
+    /// Records an update arriving at a repository at time `at_ms`. Arrivals
+    /// for unmeasured (relay-only) items are ignored.
+    pub fn repo_update(&mut self, at_ms: f64, node: NodeIdx, item: ItemId, value: f64) {
+        assert!(!node.is_source(), "the source has no measured pairs");
+        let repo = node.index() - 1;
+        let idx = self.pair_of[repo][item.index()];
+        if idx == usize::MAX {
+            return;
+        }
+        let sv = self.source_value[item.index()];
+        let p = &mut self.pairs[idx];
+        p.repo_value = value;
+        Self::transition(p, at_ms, sv);
+    }
+
+    fn transition(p: &mut PairState, at_ms: f64, source_value: f64) {
+        let violating_now = p.c.violated_by(source_value, p.repo_value);
+        match (p.violation_started, violating_now) {
+            (None, true) => p.violation_started = Some(at_ms),
+            (Some(since), false) => {
+                p.violation_total_ms += at_ms - since;
+                p.violation_started = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes all open violation intervals at `end_ms` and produces the
+    /// report. The tracker may not be used afterwards.
+    pub fn finish(mut self, end_ms: f64) -> FidelityReport {
+        assert!(end_ms >= self.start_ms, "end must not precede start");
+        let duration = end_ms - self.start_ms;
+        for p in &mut self.pairs {
+            if let Some(since) = p.violation_started.take() {
+                p.violation_total_ms += end_ms - since;
+            }
+        }
+        let mut per_repo_loss = vec![0.0f64; self.n_repos];
+        let mut per_repo_n = vec![0usize; self.n_repos];
+        let mut pair_losses = Vec::with_capacity(self.pairs.len());
+        for p in &self.pairs {
+            let loss = if duration > 0.0 {
+                (p.violation_total_ms / duration).clamp(0.0, 1.0) * 100.0
+            } else {
+                0.0
+            };
+            per_repo_loss[p.repo] += loss;
+            per_repo_n[p.repo] += 1;
+            pair_losses.push(PairLoss {
+                repo: p.repo,
+                item: ItemId(p.item),
+                coherency: p.c,
+                loss_pct: loss,
+            });
+        }
+        let repo_loss: Vec<f64> = per_repo_loss
+            .iter()
+            .zip(&per_repo_n)
+            .map(|(&l, &n)| if n > 0 { l / n as f64 } else { 0.0 })
+            .collect();
+        let measured: Vec<f64> =
+            repo_loss.iter().zip(&per_repo_n).filter(|(_, &n)| n > 0).map(|(&l, _)| l).collect();
+        let overall = if measured.is_empty() {
+            0.0
+        } else {
+            measured.iter().sum::<f64>() / measured.len() as f64
+        };
+        FidelityReport {
+            loss_pct: overall,
+            per_repo_loss_pct: repo_loss,
+            pair_losses,
+            duration_ms: duration,
+        }
+    }
+}
+
+/// Loss of one measured (repository, item) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairLoss {
+    /// 0-based repository number.
+    pub repo: usize,
+    /// The measured item.
+    pub item: ItemId,
+    /// The tolerance it was measured against.
+    pub coherency: Coherency,
+    /// Percentage of the observation window spent out of tolerance.
+    pub loss_pct: f64,
+}
+
+/// Aggregated fidelity results for one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// System-wide loss of fidelity in percent (the paper's y-axis).
+    pub loss_pct: f64,
+    /// Mean loss per repository (index = 0-based repository number).
+    pub per_repo_loss_pct: Vec<f64>,
+    /// Every measured pair's loss.
+    pub pair_losses: Vec<PairLoss>,
+    /// Observation window length, ms.
+    pub duration_ms: f64,
+}
+
+impl FidelityReport {
+    /// System-wide fidelity in percent.
+    pub fn fidelity_pct(&self) -> f64 {
+        100.0 - self.loss_pct
+    }
+
+    /// The worst repository's loss.
+    pub fn max_repo_loss_pct(&self) -> f64 {
+        self.per_repo_loss_pct.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: f64) -> Coherency {
+        Coherency::new(v)
+    }
+
+    fn one_pair(tol: f64) -> (Workload, FidelityTracker) {
+        let w = Workload::from_needs(vec![vec![Some(c(tol))]]);
+        let t = FidelityTracker::new(&w, &[1.0], 0.0);
+        (w, t)
+    }
+
+    #[test]
+    fn perfectly_coherent_run_has_zero_loss() {
+        let (_w, mut t) = one_pair(0.5);
+        t.source_update(100.0, ItemId(0), 1.2);
+        t.source_update(200.0, ItemId(0), 1.4);
+        let r = t.finish(1000.0);
+        assert_eq!(r.loss_pct, 0.0);
+        assert_eq!(r.fidelity_pct(), 100.0);
+    }
+
+    #[test]
+    fn violation_interval_measured_exactly() {
+        let (_w, mut t) = one_pair(0.5);
+        // Source jumps out of tolerance at t=100; repo catches up at t=350.
+        t.source_update(100.0, ItemId(0), 2.0);
+        t.repo_update(350.0, NodeIdx::repo(0), ItemId(0), 2.0);
+        let r = t.finish(1000.0);
+        // 250ms of violation over 1000ms = 25% loss.
+        assert!((r.loss_pct - 25.0).abs() < 1e-9, "{}", r.loss_pct);
+    }
+
+    #[test]
+    fn open_violation_charged_to_end() {
+        let (_w, mut t) = one_pair(0.5);
+        t.source_update(600.0, ItemId(0), 2.0);
+        let r = t.finish(1000.0);
+        assert!((r.loss_pct - 40.0).abs() < 1e-9, "{}", r.loss_pct);
+    }
+
+    #[test]
+    fn violation_toggles_accumulate() {
+        let (_w, mut t) = one_pair(0.5);
+        t.source_update(100.0, ItemId(0), 2.0); // violate
+        t.source_update(200.0, ItemId(0), 1.2); // back in tolerance
+        t.source_update(700.0, ItemId(0), 3.0); // violate again
+        t.repo_update(800.0, NodeIdx::repo(0), ItemId(0), 3.0);
+        let r = t.finish(1000.0);
+        assert!((r.loss_pct - 20.0).abs() < 1e-9, "{}", r.loss_pct);
+    }
+
+    #[test]
+    fn repo_update_for_unmeasured_item_is_ignored() {
+        let w = Workload::from_needs(vec![vec![Some(c(0.5)), None]]);
+        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
+        t.repo_update(10.0, NodeIdx::repo(0), ItemId(1), 99.0);
+        let r = t.finish(100.0);
+        assert_eq!(r.loss_pct, 0.0);
+    }
+
+    #[test]
+    fn aggregation_means_items_then_repos() {
+        // Repo0: two items, one violated 100% of the window, one clean
+        // → repo0 loss 50%. Repo1: one clean item → 0%. System: 25%.
+        let w = Workload::from_needs(vec![
+            vec![Some(c(0.1)), Some(c(10.0))],
+            vec![None, Some(c(10.0))],
+        ]);
+        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
+        t.source_update(0.0, ItemId(0), 5.0); // violates repo0/item0 forever
+        let r = t.finish(1000.0);
+        assert!((r.per_repo_loss_pct[0] - 50.0).abs() < 1e-9);
+        assert_eq!(r.per_repo_loss_pct[1], 0.0);
+        assert!((r.loss_pct - 25.0).abs() < 1e-9);
+        assert!((r.max_repo_loss_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_losses_enumerate_measured_pairs() {
+        let w = Workload::from_needs(vec![vec![Some(c(0.1)), Some(c(0.2))]]);
+        let t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
+        let r = t.finish(10.0);
+        assert_eq!(r.pair_losses.len(), 2);
+        assert_eq!(r.pair_losses[0].item, ItemId(0));
+        assert_eq!(r.pair_losses[1].coherency, c(0.2));
+    }
+
+    #[test]
+    fn zero_duration_run_reports_zero_loss() {
+        let (_w, t) = one_pair(0.5);
+        let r = t.finish(0.0);
+        assert_eq!(r.loss_pct, 0.0);
+        assert_eq!(r.duration_ms, 0.0);
+    }
+}

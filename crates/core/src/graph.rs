@@ -1,0 +1,424 @@
+//! The dynamic data dissemination graph (`d3g`) and per-item trees (`d3t`).
+//!
+//! §2 of the paper: repositories storing a data item are logically
+//! connected into a *dynamic data dissemination tree* rooted at the source;
+//! the union of the per-item trees over all items is the dissemination
+//! graph built during repository insertion. This module owns that
+//! structure and its invariants:
+//!
+//! * per item, every holding node other than the source has exactly one
+//!   parent, and following parents always reaches the source (tree
+//!   property);
+//! * along every edge the parent's *effective* coherency is at least as
+//!   stringent as the child's (Eq. 1);
+//! * a node's distinct-children count (its "push connections") never
+//!   exceeds its degree of cooperation — enforced by the construction
+//!   algorithms, checkable via [`D3g::validate`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::coherency::Coherency;
+use crate::item::ItemId;
+use crate::overlay::{NodeIdx, SOURCE};
+use crate::workload::Workload;
+
+/// The dissemination graph over `1 + n_repos` overlay nodes and `n_items`
+/// items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct D3g {
+    n_nodes: usize,
+    n_items: usize,
+    /// `effective[node][item]`: the coherency at which the node holds the
+    /// item (its own need, possibly tightened to serve dependents).
+    /// `None` when the node does not hold the item. The source implicitly
+    /// holds everything at [`Coherency::EXACT`] and is stored that way.
+    effective: Vec<Vec<Option<Coherency>>>,
+    /// `parent[item][node]`: who serves `item` to `node`.
+    parent: Vec<Vec<Option<NodeIdx>>>,
+    /// `children[item][node]`: whom `node` serves `item` to.
+    children: Vec<Vec<Vec<NodeIdx>>>,
+    /// Distinct dependents per node (one push connection per child,
+    /// regardless of how many items flow over it).
+    child_set: Vec<BTreeSet<NodeIdx>>,
+    /// Level of each node in the construction (source = 0); `u32::MAX`
+    /// until the node joins.
+    level: Vec<u32>,
+}
+
+/// Shape statistics of one item's dissemination tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct D3tStats {
+    /// Nodes holding the item (including the source).
+    pub n_nodes: usize,
+    /// Longest root-to-leaf path, in edges.
+    pub depth: usize,
+    /// Largest per-item fan-out of any node.
+    pub max_fanout: usize,
+}
+
+impl D3g {
+    /// An empty graph: the source holds every item exactly; no repository
+    /// has joined yet.
+    pub fn new(n_repos: usize, n_items: usize) -> Self {
+        let n_nodes = n_repos + 1;
+        let mut effective = vec![vec![None; n_items]; n_nodes];
+        effective[SOURCE.index()] = vec![Some(Coherency::EXACT); n_items];
+        let mut level = vec![u32::MAX; n_nodes];
+        level[SOURCE.index()] = 0;
+        Self {
+            n_nodes,
+            n_items,
+            effective,
+            parent: vec![vec![None; n_nodes]; n_items],
+            children: vec![vec![Vec::new(); n_nodes]; n_items],
+            child_set: vec![BTreeSet::new(); n_nodes],
+            level,
+        }
+    }
+
+    /// Builds the no-cooperation configuration of Figures 5/6: the source
+    /// directly serves every interested repository.
+    pub fn flat(workload: &Workload) -> Self {
+        let mut g = Self::new(workload.n_repos(), workload.n_items());
+        for r in 0..workload.n_repos() {
+            let node = NodeIdx::repo(r);
+            g.set_level(node, 1);
+            for (item, c) in workload.items_of(r) {
+                g.add_edge(SOURCE, node, item, c);
+            }
+        }
+        g
+    }
+
+    /// Number of overlay nodes (source + repositories).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Records that `parent` serves `item` to `child` at coherency `c`
+    /// (the child's effective requirement, tightened against any previous
+    /// requirement it had).
+    ///
+    /// # Panics
+    /// Panics if `child` already has a parent for `item`, if `parent`
+    /// doesn't hold the item at stringency ≤ `c`, or on a self-edge.
+    pub fn add_edge(&mut self, parent: NodeIdx, child: NodeIdx, item: ItemId, c: Coherency) {
+        assert!(parent != child, "self-edges are not allowed");
+        assert!(!child.is_source(), "the source cannot be a dependent");
+        let (pi, ci, ii) = (parent.index(), child.index(), item.index());
+        assert!(
+            self.parent[ii][ci].is_none(),
+            "{child} already has a parent for {item}"
+        );
+        let pc = self.effective[pi][ii]
+            .unwrap_or_else(|| panic!("{parent} does not hold {item}"));
+        assert!(
+            pc.at_least_as_stringent_as(c),
+            "Eq.(1) violated: parent {parent} holds {item} at {pc}, child needs {c}"
+        );
+        self.parent[ii][ci] = Some(parent);
+        self.children[ii][pi].push(child);
+        self.child_set[pi].insert(child);
+        let cur = self.effective[ci][ii];
+        self.effective[ci][ii] = Some(match cur {
+            Some(existing) => existing.tighten(c),
+            None => c,
+        });
+    }
+
+    /// Tightens (or establishes) a node's effective coherency for an item
+    /// without wiring edges — used by the augmentation cascade before the
+    /// upward path exists.
+    pub fn tighten_effective(&mut self, node: NodeIdx, item: ItemId, c: Coherency) {
+        let slot = &mut self.effective[node.index()][item.index()];
+        *slot = Some(match *slot {
+            Some(existing) => existing.tighten(c),
+            None => c,
+        });
+    }
+
+    /// The coherency at which `node` holds `item`, if it does.
+    pub fn effective(&self, node: NodeIdx, item: ItemId) -> Option<Coherency> {
+        self.effective[node.index()][item.index()]
+    }
+
+    /// Who serves `item` to `node`.
+    pub fn parent_of(&self, node: NodeIdx, item: ItemId) -> Option<NodeIdx> {
+        self.parent[item.index()][node.index()]
+    }
+
+    /// Whom `node` pushes `item` to.
+    pub fn children_of(&self, node: NodeIdx, item: ItemId) -> &[NodeIdx] {
+        &self.children[item.index()][node.index()]
+    }
+
+    /// The node's distinct dependents across all items (its push
+    /// connections).
+    pub fn dependents(&self, node: NodeIdx) -> &BTreeSet<NodeIdx> {
+        &self.child_set[node.index()]
+    }
+
+    /// Number of distinct dependents of `node`.
+    pub fn n_dependents(&self, node: NodeIdx) -> usize {
+        self.child_set[node.index()].len()
+    }
+
+    /// All distinct parents of `node` across items (used by the
+    /// augmentation cascade's "ask one of its parents" step).
+    pub fn parents(&self, node: NodeIdx) -> Vec<NodeIdx> {
+        let mut set = BTreeSet::new();
+        for item in 0..self.n_items {
+            if let Some(p) = self.parent[item][node.index()] {
+                set.insert(p);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Sets a node's construction level.
+    pub fn set_level(&mut self, node: NodeIdx, level: u32) {
+        self.level[node.index()] = level;
+    }
+
+    /// The node's construction level (`None` before it joins).
+    pub fn level(&self, node: NodeIdx) -> Option<u32> {
+        let l = self.level[node.index()];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// Items held by `node`, with their effective coherencies.
+    pub fn items_held(&self, node: NodeIdx) -> impl Iterator<Item = (ItemId, Coherency)> + '_ {
+        self.effective[node.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (ItemId(i as u32), c)))
+    }
+
+    /// Depth of `node` in `item`'s tree (edges from the source), or `None`
+    /// if the node doesn't hold the item.
+    pub fn depth_in_item_tree(&self, node: NodeIdx, item: ItemId) -> Option<usize> {
+        if node.is_source() {
+            return Some(0);
+        }
+        self.effective(node, item)?;
+        let mut cur = node;
+        let mut depth = 0usize;
+        while let Some(p) = self.parent_of(cur, item) {
+            depth += 1;
+            assert!(depth <= self.n_nodes, "cycle in d3t for {item}");
+            if p.is_source() {
+                return Some(depth);
+            }
+            cur = p;
+        }
+        None
+    }
+
+    /// Shape statistics for one item's tree.
+    pub fn d3t_stats(&self, item: ItemId) -> D3tStats {
+        let mut n_nodes = 1usize; // the source
+        let mut depth = 0usize;
+        let mut max_fanout = self.children_of(SOURCE, item).len();
+        for node in 1..self.n_nodes {
+            let node = NodeIdx(node as u32);
+            if self.effective(node, item).is_some() && self.parent_of(node, item).is_some() {
+                n_nodes += 1;
+                if let Some(d) = self.depth_in_item_tree(node, item) {
+                    depth = depth.max(d);
+                }
+                max_fanout = max_fanout.max(self.children_of(node, item).len());
+            }
+        }
+        D3tStats { n_nodes, depth, max_fanout }
+    }
+
+    /// The maximum tree depth over all items — the paper's "diameter of
+    /// the repository layout network" measured in overlay hops from the
+    /// source (their chain of 100 repositories has diameter ~101).
+    pub fn max_depth(&self) -> usize {
+        (0..self.n_items)
+            .map(|i| self.d3t_stats(ItemId(i as u32)).depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean tree depth over items (counting only items someone holds).
+    pub fn mean_depth(&self) -> f64 {
+        let depths: Vec<usize> =
+            (0..self.n_items).map(|i| self.d3t_stats(ItemId(i as u32)).depth).collect();
+        let nonzero: Vec<usize> = depths.into_iter().filter(|&d| d > 0).collect();
+        if nonzero.is_empty() {
+            0.0
+        } else {
+            nonzero.iter().sum::<usize>() as f64 / nonzero.len() as f64
+        }
+    }
+
+    /// Checks every structural invariant; returns a description of the
+    /// first violation found.
+    pub fn validate(&self, max_dependents: Option<usize>) -> Result<(), String> {
+        // Source holds everything exactly.
+        for i in 0..self.n_items {
+            if self.effective[SOURCE.index()][i] != Some(Coherency::EXACT) {
+                return Err(format!("source does not hold item#{i} exactly"));
+            }
+        }
+        for item_i in 0..self.n_items {
+            let item = ItemId(item_i as u32);
+            for node_i in 1..self.n_nodes {
+                let node = NodeIdx(node_i as u32);
+                let (held, parent) = (self.effective(node, item), self.parent_of(node, item));
+                match (held, parent) {
+                    (None, Some(p)) => {
+                        return Err(format!("{node} has parent {p} for {item} but no effective c"))
+                    }
+                    (Some(c), Some(p)) => {
+                        let pc = self
+                            .effective(p, item)
+                            .ok_or_else(|| format!("parent {p} of {node} lacks {item}"))?;
+                        if !pc.at_least_as_stringent_as(c) {
+                            return Err(format!(
+                                "Eq.(1) violated on {p}->{node} for {item}: {pc} > {c}"
+                            ));
+                        }
+                        if !self.children_of(p, item).contains(&node) {
+                            return Err(format!("{p} missing child link to {node} for {item}"));
+                        }
+                        if self.depth_in_item_tree(node, item).is_none() {
+                            return Err(format!("{node} unreachable from source for {item}"));
+                        }
+                    }
+                    (Some(_), None) => {
+                        return Err(format!("{node} holds {item} but has no parent"));
+                    }
+                    (None, None) => {}
+                }
+            }
+            // children lists must mirror parent pointers
+            for node_i in 0..self.n_nodes {
+                let node = NodeIdx(node_i as u32);
+                for &ch in self.children_of(node, item) {
+                    if self.parent_of(ch, item) != Some(node) {
+                        return Err(format!("dangling child {ch} under {node} for {item}"));
+                    }
+                }
+            }
+        }
+        if let Some(cap) = max_dependents {
+            for node_i in 0..self.n_nodes {
+                let node = NodeIdx(node_i as u32);
+                if self.n_dependents(node) > cap {
+                    return Err(format!(
+                        "{node} has {} dependents, exceeding cap {cap}",
+                        self.n_dependents(node)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: f64) -> Coherency {
+        Coherency::new(v)
+    }
+
+    #[test]
+    fn flat_graph_wires_source_to_all() {
+        let w = Workload::from_needs(vec![
+            vec![Some(c(0.1)), None],
+            vec![Some(c(0.2)), Some(c(0.3))],
+        ]);
+        let g = D3g::flat(&w);
+        assert_eq!(g.parent_of(NodeIdx::repo(0), ItemId(0)), Some(SOURCE));
+        assert_eq!(g.parent_of(NodeIdx::repo(1), ItemId(1)), Some(SOURCE));
+        assert_eq!(g.parent_of(NodeIdx::repo(0), ItemId(1)), None);
+        assert_eq!(g.n_dependents(SOURCE), 2);
+        assert!(g.validate(None).is_ok());
+        assert_eq!(g.max_depth(), 1);
+    }
+
+    #[test]
+    fn add_edge_tracks_children_and_effective() {
+        let mut g = D3g::new(2, 1);
+        let (r0, r1) = (NodeIdx::repo(0), NodeIdx::repo(1));
+        g.add_edge(SOURCE, r0, ItemId(0), c(0.1));
+        g.add_edge(r0, r1, ItemId(0), c(0.5));
+        assert_eq!(g.effective(r0, ItemId(0)), Some(c(0.1)));
+        assert_eq!(g.effective(r1, ItemId(0)), Some(c(0.5)));
+        assert_eq!(g.children_of(r0, ItemId(0)), &[r1]);
+        assert_eq!(g.parents(r1), vec![r0]);
+        assert_eq!(g.depth_in_item_tree(r1, ItemId(0)), Some(2));
+        assert!(g.validate(Some(1)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq.(1) violated")]
+    fn add_edge_rejects_less_stringent_parent() {
+        let mut g = D3g::new(2, 1);
+        let (r0, r1) = (NodeIdx::repo(0), NodeIdx::repo(1));
+        g.add_edge(SOURCE, r0, ItemId(0), c(0.5));
+        g.add_edge(r0, r1, ItemId(0), c(0.1)); // child tighter than parent
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a parent")]
+    fn add_edge_rejects_second_parent_for_item() {
+        let mut g = D3g::new(2, 1);
+        let r0 = NodeIdx::repo(0);
+        g.add_edge(SOURCE, r0, ItemId(0), c(0.5));
+        let r1 = NodeIdx::repo(1);
+        g.add_edge(SOURCE, r1, ItemId(0), c(0.5));
+        g.add_edge(r1, r0, ItemId(0), c(0.5));
+    }
+
+    #[test]
+    fn tighten_effective_only_tightens() {
+        let mut g = D3g::new(1, 1);
+        let r0 = NodeIdx::repo(0);
+        g.tighten_effective(r0, ItemId(0), c(0.5));
+        g.tighten_effective(r0, ItemId(0), c(0.2));
+        g.tighten_effective(r0, ItemId(0), c(0.9));
+        assert_eq!(g.effective(r0, ItemId(0)), Some(c(0.2)));
+    }
+
+    #[test]
+    fn d3t_stats_of_chain() {
+        let mut g = D3g::new(3, 1);
+        let item = ItemId(0);
+        g.add_edge(SOURCE, NodeIdx::repo(0), item, c(0.1));
+        g.add_edge(NodeIdx::repo(0), NodeIdx::repo(1), item, c(0.2));
+        g.add_edge(NodeIdx::repo(1), NodeIdx::repo(2), item, c(0.3));
+        let s = g.d3t_stats(item);
+        assert_eq!(s.n_nodes, 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(g.max_depth(), 3);
+        assert_eq!(g.mean_depth(), 3.0);
+    }
+
+    #[test]
+    fn validate_catches_orphan_effective() {
+        let mut g = D3g::new(1, 1);
+        g.tighten_effective(NodeIdx::repo(0), ItemId(0), c(0.1));
+        let err = g.validate(None).unwrap_err();
+        assert!(err.contains("no parent"), "{err}");
+    }
+
+    #[test]
+    fn levels_default_unset() {
+        let g = D3g::new(1, 1);
+        assert_eq!(g.level(SOURCE), Some(0));
+        assert_eq!(g.level(NodeIdx::repo(0)), None);
+    }
+}

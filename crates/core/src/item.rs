@@ -1,0 +1,42 @@
+//! Data-item identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one dynamic data item (one stock ticker in the paper's
+/// workloads). Items are dense indices `0..n_items` so per-item state can
+/// live in flat vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The dense index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let i = ItemId(7);
+        assert_eq!(i.index(), 7);
+        assert_eq!(i.to_string(), "item#7");
+        assert_eq!(ItemId::from(7u32), i);
+    }
+}

@@ -1,0 +1,542 @@
+//! LeLA — the Level-by-Level Algorithm (§4 of the paper).
+//!
+//! Repositories join the overlay one at a time. For a joiner `q`, the
+//! levels of the current d3g are scanned starting at the source (level 0).
+//! At each level a *load controller* computes a **preference factor** for
+//! every repository with spare push connections; all candidates within
+//! `P%` (default 5%) of the minimum become potential parents of `q`. Each
+//! data item `q` needs is assigned to the most preferred candidate that
+//! already holds it at sufficient stringency; items nobody can serve are
+//! assigned to the most preferred candidate overall, *augmenting* that
+//! parent's data needs — a cascade that may propagate new requirements all
+//! the way to the source ("this is continued all the way up the d3g till
+//! there is a path from the source to q for those data-items").
+//!
+//! The preference factor combines (§4):
+//! 1. data availability (more servable items → more preferred),
+//! 2. computational delay, approximated by the parent's dependent count,
+//! 3. communication delay between parent and joiner.
+//!
+//! `P1 = comm · (1 + ndeps) / (1 + navail)`; the alternative `P2` of
+//! §6.3.3 drops the availability term. Figure 10 shows the choice barely
+//! matters once the degree of cooperation is controlled — which this
+//! implementation reproduces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::coherency::Coherency;
+use crate::graph::D3g;
+use crate::item::ItemId;
+use crate::overlay::{NodeIdx, SOURCE};
+use crate::workload::Workload;
+
+/// Which preference-factor formula the load controller uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreferenceFunction {
+    /// `comm(p,q) · (1 + ndeps(p)) / (1 + navail(p,q))` — the paper's
+    /// default, rewarding data availability.
+    P1,
+    /// `comm(p,q) · (1 + ndeps(p))` — the §6.3.3 alternative that ignores
+    /// availability.
+    P2,
+}
+
+/// The order in which repositories join the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinOrder {
+    /// Seeded uniform shuffle (the default; the paper inserts repositories
+    /// as they "wish to enter the network").
+    Random,
+    /// Repository 0, 1, 2, … in workload order.
+    Sequential,
+    /// Most stringent repositories first — an ablation of §5's observation
+    /// that stringent repositories should sit near the source.
+    StringentFirst,
+}
+
+/// LeLA parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LelaConfig {
+    /// Maximum distinct dependents any node (including the source) will
+    /// serve — the degree of cooperation.
+    pub coop_degree: usize,
+    /// Candidate band: parents within `pref_band_pct` percent of the
+    /// minimum preference are considered (paper default 5%).
+    pub pref_band_pct: f64,
+    /// Preference formula.
+    pub pref_fn: PreferenceFunction,
+    /// Join order policy.
+    pub join_order: JoinOrder,
+    /// Seed for the join shuffle and random parent choice during
+    /// augmentation.
+    pub seed: u64,
+}
+
+impl LelaConfig {
+    /// Paper defaults: 5% band, P1, random join order.
+    pub fn new(coop_degree: usize, seed: u64) -> Self {
+        assert!(coop_degree >= 1, "degree of cooperation must be at least 1");
+        Self {
+            coop_degree,
+            pref_band_pct: 5.0,
+            pref_fn: PreferenceFunction::P1,
+            join_order: JoinOrder::Random,
+            seed,
+        }
+    }
+}
+
+/// Provider of overlay communication delays, implemented by the simulator
+/// over the physical network and by [`DelayMatrix`] for standalone use.
+pub trait OverlayDelays {
+    /// Expected one-way communication delay between two overlay nodes, ms.
+    fn delay_ms(&self, a: NodeIdx, b: NodeIdx) -> f64;
+
+    /// Mean pairwise delay among all overlay nodes — feeds Eq. (2).
+    fn mean_delay_ms(&self) -> f64;
+}
+
+/// A dense symmetric delay matrix over overlay nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayMatrix {
+    n: usize,
+    delays: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// Builds from a row-major `n × n` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square, symmetric, non-negative with a
+    /// zero diagonal.
+    pub fn new(n: usize, delays: Vec<f64>) -> Self {
+        assert_eq!(delays.len(), n * n, "matrix must be n x n");
+        for i in 0..n {
+            assert_eq!(delays[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                let d = delays[i * n + j];
+                assert!(d >= 0.0 && d.is_finite(), "delays must be finite and >= 0");
+                assert!(
+                    (d - delays[j * n + i]).abs() < 1e-9,
+                    "matrix must be symmetric"
+                );
+            }
+        }
+        Self { n, delays }
+    }
+
+    /// A uniform matrix where every distinct pair is `d` ms apart.
+    pub fn uniform(n: usize, d: f64) -> Self {
+        let mut m = vec![d; n * n];
+        for i in 0..n {
+            m[i * n + i] = 0.0;
+        }
+        Self::new(n, m)
+    }
+
+    /// Number of overlay nodes covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl OverlayDelays for DelayMatrix {
+    fn delay_ms(&self, a: NodeIdx, b: NodeIdx) -> f64 {
+        self.delays[a.index() * self.n + b.index()]
+    }
+
+    fn mean_delay_ms(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                sum += self.delays[i * self.n + j];
+            }
+        }
+        sum / (self.n * (self.n - 1) / 2) as f64
+    }
+}
+
+/// Runs LeLA over the whole workload and returns the constructed d3g.
+///
+/// Every repository in the workload joins (in the configured order); the
+/// result satisfies all [`D3g::validate`] invariants with the configured
+/// dependent cap.
+pub fn build_d3g<D: OverlayDelays>(workload: &Workload, delays: &D, cfg: &LelaConfig) -> D3g {
+    let mut builder = LelaBuilder::new(workload, delays, cfg);
+    for repo in join_order(workload, cfg) {
+        builder.join(repo);
+    }
+    builder.finish()
+}
+
+fn join_order(workload: &Workload, cfg: &LelaConfig) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..workload.n_repos()).collect();
+    match cfg.join_order {
+        JoinOrder::Sequential => {}
+        JoinOrder::Random => {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+        }
+        JoinOrder::StringentFirst => {
+            order.sort_by(|&a, &b| {
+                let ca = workload.items_of(a).map(|(_, c)| c).min();
+                let cb = workload.items_of(b).map(|(_, c)| c).min();
+                ca.cmp(&cb).then_with(|| a.cmp(&b))
+            });
+        }
+    }
+    order
+}
+
+/// Incremental LeLA state, exposed so examples can narrate insertions one
+/// repository at a time.
+pub struct LelaBuilder<'a, D: OverlayDelays> {
+    workload: &'a Workload,
+    delays: &'a D,
+    cfg: LelaConfig,
+    g: D3g,
+    /// `levels[l]` = overlay nodes at level `l` (level 0 = the source).
+    levels: Vec<Vec<NodeIdx>>,
+    rng: StdRng,
+}
+
+impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
+    /// A builder with only the source placed.
+    pub fn new(workload: &'a Workload, delays: &'a D, cfg: &LelaConfig) -> Self {
+        Self {
+            workload,
+            delays,
+            cfg: *cfg,
+            g: D3g::new(workload.n_repos(), workload.n_items()),
+            levels: vec![vec![SOURCE]],
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Inserts repository `repo` (0-based workload index) into the d3g.
+    ///
+    /// Returns the level the repository was placed at.
+    pub fn join(&mut self, repo: usize) -> u32 {
+        let q = NodeIdx::repo(repo);
+        assert!(
+            self.g.level(q).is_none(),
+            "repository {repo} already joined"
+        );
+        let wanted: Vec<(ItemId, Coherency)> = self.workload.items_of(repo).collect();
+        assert!(!wanted.is_empty(), "repository {repo} has no data needs");
+
+        let mut level = 0usize;
+        loop {
+            assert!(
+                level < self.levels.len(),
+                "LeLA invariant broken: ran out of levels with spare capacity"
+            );
+            let candidates: Vec<NodeIdx> = self.levels[level]
+                .iter()
+                .copied()
+                .filter(|&p| self.g.n_dependents(p) < self.cfg.coop_degree)
+                .collect();
+            if candidates.is_empty() {
+                level += 1;
+                continue;
+            }
+            self.attach(q, &wanted, &candidates);
+            let q_level = level as u32 + 1;
+            self.g.set_level(q, q_level);
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].push(q);
+            return q_level;
+        }
+    }
+
+    /// Chooses parents among `candidates` and wires all of `q`'s items.
+    fn attach(&mut self, q: NodeIdx, wanted: &[(ItemId, Coherency)], candidates: &[NodeIdx]) {
+        // Preference factors (smaller = more preferred).
+        let mut prefs: Vec<(NodeIdx, f64)> = candidates
+            .iter()
+            .map(|&p| (p, self.preference(p, q, wanted)))
+            .collect();
+        prefs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let min_pref = prefs[0].1;
+        let band_limit = min_pref * (1.0 + self.cfg.pref_band_pct / 100.0);
+        let band: Vec<NodeIdx> = prefs
+            .iter()
+            .filter(|&&(_, f)| f <= band_limit)
+            .map(|&(p, _)| p)
+            .collect();
+        let most_preferred = band[0];
+
+        // Assign each wanted item to the most preferred band member that
+        // can already serve it; collect the rest for augmentation.
+        let mut assignment: Vec<(NodeIdx, ItemId, Coherency)> = Vec::with_capacity(wanted.len());
+        for &(item, c) in wanted {
+            let server = band.iter().copied().find(|&p| {
+                self.g
+                    .effective(p, item)
+                    .is_some_and(|pc| pc.at_least_as_stringent_as(c))
+            });
+            let parent = server.unwrap_or(most_preferred);
+            assignment.push((parent, item, c));
+        }
+        for (parent, item, c) in assignment {
+            self.ensure_serves(parent, item, c);
+            self.g.add_edge(parent, q, item, c);
+        }
+    }
+
+    /// Preference factor of candidate parent `p` for joiner `q`.
+    fn preference(&self, p: NodeIdx, q: NodeIdx, wanted: &[(ItemId, Coherency)]) -> f64 {
+        let comm = self.delays.delay_ms(p, q).max(f64::MIN_POSITIVE);
+        let ndeps = self.g.n_dependents(p) as f64;
+        match self.cfg.pref_fn {
+            PreferenceFunction::P1 => {
+                let navail = wanted
+                    .iter()
+                    .filter(|&&(item, c)| {
+                        self.g
+                            .effective(p, item)
+                            .is_some_and(|pc| pc.at_least_as_stringent_as(c))
+                    })
+                    .count() as f64;
+                comm * (1.0 + ndeps) / (1.0 + navail)
+            }
+            PreferenceFunction::P2 => comm * (1.0 + ndeps),
+        }
+    }
+
+    /// Augmentation cascade: guarantee that `node` holds `item` at
+    /// stringency ≤ `c` with a service path from the source.
+    ///
+    /// If the node already receives the item but too loosely, its own (and
+    /// transitively its ancestors') effective requirement is tightened. If
+    /// it does not receive the item at all, one of its existing parents is
+    /// asked to serve it — preferring a parent that already holds the item,
+    /// else a random parent, exactly as §4 describes — recursing until an
+    /// ancestor that holds the item (ultimately the source) is reached.
+    fn ensure_serves(&mut self, node: NodeIdx, item: ItemId, c: Coherency) {
+        if node.is_source() {
+            return;
+        }
+        match (self.g.effective(node, item), self.g.parent_of(node, item)) {
+            (Some(cur), Some(parent)) => {
+                if cur.at_least_as_stringent_as(c) {
+                    return; // already served stringently enough
+                }
+                self.g.tighten_effective(node, item, c);
+                self.ensure_serves(parent, item, c);
+            }
+            (None, None) => {
+                let parents = self.g.parents(node);
+                assert!(
+                    !parents.is_empty(),
+                    "{node} has no parents to augment through"
+                );
+                let parent = parents
+                    .iter()
+                    .copied()
+                    .find(|&p| self.g.effective(p, item).is_some())
+                    .unwrap_or_else(|| parents[self.rng.gen_range(0..parents.len())]);
+                self.ensure_serves(parent, item, c);
+                self.g.add_edge(parent, node, item, c);
+            }
+            (None, Some(_)) => unreachable!("parent pointer without effective coherency"),
+            (Some(_), None) => {
+                unreachable!("effective coherency without a parent on a non-source node")
+            }
+        }
+    }
+
+    /// Consumes the builder, returning the constructed graph.
+    pub fn finish(self) -> D3g {
+        self.g
+    }
+
+    /// Read access to the graph mid-construction.
+    pub fn graph(&self) -> &D3g {
+        &self.g
+    }
+
+    /// The current level population (level 0 is the source).
+    pub fn levels(&self) -> &[Vec<NodeIdx>] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+
+    fn paper_workload(n_repos: usize, n_items: usize, t: f64, seed: u64) -> Workload {
+        Workload::generate(&WorkloadConfig::paper(n_repos, n_items, t), seed)
+    }
+
+    fn check(workload: &Workload, degree: usize, seed: u64) -> D3g {
+        let delays = DelayMatrix::uniform(workload.n_repos() + 1, 25.0);
+        let g = build_d3g(workload, &delays, &LelaConfig::new(degree, seed));
+        g.validate(Some(degree)).expect("d3g invariants");
+        // Every user need must be served at least as stringently as asked.
+        for r in 0..workload.n_repos() {
+            let node = NodeIdx::repo(r);
+            for (item, c) in workload.items_of(r) {
+                let eff = g.effective(node, item).expect("need unserved");
+                assert!(eff.at_least_as_stringent_as(c));
+                assert!(g.parent_of(node, item).is_some());
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn serves_all_needs_at_various_degrees() {
+        let w = paper_workload(40, 20, 50.0, 7);
+        for degree in [1, 2, 4, 10, 40, 100] {
+            let _ = check(&w, degree, 3);
+        }
+    }
+
+    #[test]
+    fn degree_one_builds_a_chain() {
+        let w = paper_workload(20, 5, 50.0, 1);
+        let g = check(&w, 1, 2);
+        // Chain: every node has at most one dependent, so depth for some
+        // item should approach the repository count.
+        assert!(g.max_depth() >= 10, "depth {}", g.max_depth());
+        for n in 0..=20 {
+            assert!(g.n_dependents(NodeIdx(n as u32)) <= 1);
+        }
+    }
+
+    #[test]
+    fn huge_degree_builds_flat_tree() {
+        let w = paper_workload(20, 5, 50.0, 1);
+        let g = check(&w, 100, 2);
+        assert_eq!(g.n_dependents(SOURCE), 20);
+        assert_eq!(g.max_depth(), 1);
+    }
+
+    #[test]
+    fn augmented_parents_hold_extra_items() {
+        // Repo A wants item 0 only; repo B wants items 0 and 1. With
+        // degree 1 and A joining first, A must be augmented to carry
+        // item 1 for B.
+        let w = Workload::from_needs(vec![
+            vec![Some(Coherency::new(0.5)), None],
+            vec![Some(Coherency::new(0.6)), Some(Coherency::new(0.3))],
+        ]);
+        let delays = DelayMatrix::uniform(3, 10.0);
+        let cfg = LelaConfig { join_order: JoinOrder::Sequential, ..LelaConfig::new(1, 0) };
+        let g = build_d3g(&w, &delays, &cfg);
+        g.validate(Some(1)).unwrap();
+        let a = NodeIdx::repo(0);
+        assert_eq!(g.effective(a, ItemId(1)), Some(Coherency::new(0.3)));
+        assert_eq!(g.parent_of(a, ItemId(1)), Some(SOURCE));
+    }
+
+    #[test]
+    fn augmentation_tightens_ancestors() {
+        // A wants item 0 loosely; B (served by A) wants it tightly. A's
+        // effective coherency must tighten to B's.
+        let w = Workload::from_needs(vec![
+            vec![Some(Coherency::new(0.9))],
+            vec![Some(Coherency::new(0.05))],
+        ]);
+        let delays = DelayMatrix::uniform(3, 10.0);
+        let cfg = LelaConfig { join_order: JoinOrder::Sequential, ..LelaConfig::new(1, 0) };
+        let g = build_d3g(&w, &delays, &cfg);
+        g.validate(Some(1)).unwrap();
+        let a = NodeIdx::repo(0);
+        assert_eq!(g.effective(a, ItemId(0)), Some(Coherency::new(0.05)));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let w = paper_workload(30, 10, 70.0, 4);
+        let delays = DelayMatrix::uniform(31, 25.0);
+        let cfg = LelaConfig::new(4, 11);
+        assert_eq!(build_d3g(&w, &delays, &cfg), build_d3g(&w, &delays, &cfg));
+    }
+
+    #[test]
+    fn stringent_first_places_tight_repos_higher() {
+        let mut needs = Vec::new();
+        for i in 0..12 {
+            let c = if i < 6 { 0.01 + 0.001 * i as f64 } else { 0.5 + 0.01 * i as f64 };
+            needs.push(vec![Some(Coherency::new(c))]);
+        }
+        let w = Workload::from_needs(needs);
+        let delays = DelayMatrix::uniform(13, 25.0);
+        let cfg = LelaConfig {
+            join_order: JoinOrder::StringentFirst,
+            ..LelaConfig::new(2, 0)
+        };
+        let g = build_d3g(&w, &delays, &cfg);
+        g.validate(Some(2)).unwrap();
+        let mean_level = |range: std::ops::Range<usize>| {
+            range
+                .clone()
+                .map(|r| g.level(NodeIdx::repo(r)).unwrap() as f64)
+                .sum::<f64>()
+                / range.len() as f64
+        };
+        assert!(
+            mean_level(0..6) < mean_level(6..12),
+            "stringent repos should sit nearer the source"
+        );
+    }
+
+    #[test]
+    fn pref_band_widens_candidate_set() {
+        // With a gigantic band and nonuniform delays, LeLA may split one
+        // repository's needs across multiple parents. At minimum the graph
+        // must stay valid.
+        let w = paper_workload(25, 8, 50.0, 5);
+        let n = 26;
+        let mut delays = vec![0.0; n * n];
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = rng.gen_range(2.0..80.0);
+                delays[i * n + j] = d;
+                delays[j * n + i] = d;
+            }
+        }
+        let dm = DelayMatrix::new(n, delays);
+        for band in [1.0, 5.0, 25.0] {
+            let cfg = LelaConfig { pref_band_pct: band, ..LelaConfig::new(3, 1) };
+            let g = build_d3g(&w, &dm, &cfg);
+            g.validate(Some(3)).unwrap();
+        }
+    }
+
+    #[test]
+    fn p2_preference_also_valid() {
+        let w = paper_workload(30, 10, 50.0, 8);
+        let delays = DelayMatrix::uniform(31, 25.0);
+        let cfg = LelaConfig { pref_fn: PreferenceFunction::P2, ..LelaConfig::new(4, 1) };
+        let g = build_d3g(&w, &delays, &cfg);
+        g.validate(Some(4)).unwrap();
+    }
+
+    #[test]
+    fn delay_matrix_mean() {
+        let dm = DelayMatrix::uniform(4, 10.0);
+        assert!((dm.mean_delay_ms() - 10.0).abs() < 1e-12);
+        assert_eq!(dm.len(), 4);
+    }
+}

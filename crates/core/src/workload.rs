@@ -1,0 +1,226 @@
+//! Repository workload generation — §6.1 of the paper.
+//!
+//! "Each repository requests a subset of data items, with a particular data
+//! item chosen with 50% probability. [...] `T`% of the data items have
+//! stringent coherency requirements [$0.01–$0.099] at each repository (the
+//! remaining `100−T`% have less stringent requirements [$0.1–$0.999])."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::coherency::Coherency;
+use crate::item::ItemId;
+use crate::overlay::NodeIdx;
+
+/// Parameters of the repository workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of repositories.
+    pub n_repos: usize,
+    /// Number of data items.
+    pub n_items: usize,
+    /// Probability that a repository is interested in an item (paper: 0.5).
+    pub interest_prob: f64,
+    /// Percentage (0–100) of a repository's items carrying stringent
+    /// tolerances — the paper's `T` parameter.
+    pub t_stringent_pct: f64,
+    /// Range of stringent tolerances in dollars (paper: $0.01–$0.099).
+    pub stringent_range: (f64, f64),
+    /// Range of lenient tolerances in dollars (paper: $0.1–$0.999).
+    pub lenient_range: (f64, f64),
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration for a given repository count, item count
+    /// and `T`.
+    pub fn paper(n_repos: usize, n_items: usize, t_stringent_pct: f64) -> Self {
+        assert!((0.0..=100.0).contains(&t_stringent_pct), "T must be in [0,100]");
+        Self {
+            n_repos,
+            n_items,
+            interest_prob: 0.5,
+            t_stringent_pct,
+            stringent_range: (0.01, 0.099),
+            lenient_range: (0.1, 0.999),
+        }
+    }
+}
+
+/// The generated workload: which repository wants which item at which
+/// tolerance. These are the *user* needs, before any LeLA augmentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    n_repos: usize,
+    n_items: usize,
+    /// `needs[repo][item]` — `None` when the repository is not interested.
+    needs: Vec<Vec<Option<Coherency>>>,
+}
+
+impl Workload {
+    /// Generates the workload deterministically from `seed`.
+    ///
+    /// Every repository is guaranteed interest in at least one item (a
+    /// repository with no data needs would never join the overlay).
+    pub fn generate(cfg: &WorkloadConfig, seed: u64) -> Self {
+        assert!(cfg.n_items > 0, "need at least one item");
+        assert!((0.0..=1.0).contains(&cfg.interest_prob), "interest_prob in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let needs = (0..cfg.n_repos)
+            .map(|_| {
+                let mut row: Vec<Option<Coherency>> = (0..cfg.n_items)
+                    .map(|_| {
+                        if rng.gen::<f64>() < cfg.interest_prob {
+                            Some(sample_tolerance(cfg, &mut rng))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if row.iter().all(|c| c.is_none()) {
+                    let item = rng.gen_range(0..cfg.n_items);
+                    row[item] = Some(sample_tolerance(cfg, &mut rng));
+                }
+                row
+            })
+            .collect();
+        Self { n_repos: cfg.n_repos, n_items: cfg.n_items, needs }
+    }
+
+    /// Builds a workload from explicit needs (tests, examples).
+    pub fn from_needs(needs: Vec<Vec<Option<Coherency>>>) -> Self {
+        let n_repos = needs.len();
+        let n_items = needs.first().map_or(0, Vec::len);
+        assert!(
+            needs.iter().all(|r| r.len() == n_items),
+            "all repositories must cover the same item space"
+        );
+        Self { n_repos, n_items, needs }
+    }
+
+    /// Number of repositories.
+    pub fn n_repos(&self) -> usize {
+        self.n_repos
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The tolerance repository `repo` (0-based repository number, not an
+    /// overlay index) wants for `item`, if interested.
+    pub fn need(&self, repo: usize, item: ItemId) -> Option<Coherency> {
+        self.needs[repo][item.index()]
+    }
+
+    /// The tolerance an overlay node wants for `item`. The source wants
+    /// everything at [`Coherency::EXACT`].
+    pub fn need_of_node(&self, node: NodeIdx, item: ItemId) -> Option<Coherency> {
+        if node.is_source() {
+            Some(Coherency::EXACT)
+        } else {
+            self.need(node.index() - 1, item)
+        }
+    }
+
+    /// Items repository `repo` is interested in.
+    pub fn items_of(&self, repo: usize) -> impl Iterator<Item = (ItemId, Coherency)> + '_ {
+        self.needs[repo]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (ItemId(i as u32), c)))
+    }
+
+    /// Repositories interested in `item`, as 0-based repository numbers.
+    pub fn repos_wanting(&self, item: ItemId) -> Vec<usize> {
+        (0..self.n_repos).filter(|&r| self.needs[r][item.index()].is_some()).collect()
+    }
+
+    /// The most stringent tolerance any repository holds for `item`
+    /// (`None` when nobody wants it).
+    pub fn most_stringent(&self, item: ItemId) -> Option<Coherency> {
+        (0..self.n_repos).filter_map(|r| self.needs[r][item.index()]).min()
+    }
+
+    /// Mean number of items per repository.
+    pub fn mean_items_per_repo(&self) -> f64 {
+        let total: usize = self.needs.iter().map(|r| r.iter().flatten().count()).sum();
+        total as f64 / self.n_repos.max(1) as f64
+    }
+}
+
+fn sample_tolerance(cfg: &WorkloadConfig, rng: &mut StdRng) -> Coherency {
+    let stringent = rng.gen::<f64>() * 100.0 < cfg.t_stringent_pct;
+    let (lo, hi) = if stringent { cfg.stringent_range } else { cfg.lenient_range };
+    Coherency::new(rng.gen_range(lo..=hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interest_rate_near_half() {
+        let cfg = WorkloadConfig::paper(100, 100, 50.0);
+        let w = Workload::generate(&cfg, 1);
+        let mean = w.mean_items_per_repo();
+        assert!((40.0..60.0).contains(&mean), "mean items/repo {mean}");
+    }
+
+    #[test]
+    fn t_zero_yields_only_lenient() {
+        let w = Workload::generate(&WorkloadConfig::paper(20, 50, 0.0), 2);
+        for r in 0..20 {
+            for (_, c) in w.items_of(r) {
+                assert!(c.value() >= 0.1, "lenient expected, got {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_hundred_yields_only_stringent() {
+        let w = Workload::generate(&WorkloadConfig::paper(20, 50, 100.0), 3);
+        for r in 0..20 {
+            for (_, c) in w.items_of(r) {
+                assert!(c.value() <= 0.099, "stringent expected, got {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_repo_wants_something() {
+        let mut cfg = WorkloadConfig::paper(50, 10, 50.0);
+        cfg.interest_prob = 0.01; // provoke empty rows
+        let w = Workload::generate(&cfg, 4);
+        for r in 0..50 {
+            assert!(w.items_of(r).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn source_wants_everything_exactly() {
+        let w = Workload::generate(&WorkloadConfig::paper(5, 5, 50.0), 5);
+        for i in 0..5 {
+            assert_eq!(w.need_of_node(crate::overlay::SOURCE, ItemId(i)), Some(Coherency::EXACT));
+        }
+    }
+
+    #[test]
+    fn most_stringent_is_minimum() {
+        let w = Workload::from_needs(vec![
+            vec![Some(Coherency::new(0.5)), None],
+            vec![Some(Coherency::new(0.05)), None],
+        ]);
+        assert_eq!(w.most_stringent(ItemId(0)), Some(Coherency::new(0.05)));
+        assert_eq!(w.most_stringent(ItemId(1)), None);
+        assert_eq!(w.repos_wanting(ItemId(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::paper(30, 30, 70.0);
+        assert_eq!(Workload::generate(&cfg, 9), Workload::generate(&cfg, 9));
+        assert_ne!(Workload::generate(&cfg, 9), Workload::generate(&cfg, 10));
+    }
+}

@@ -1,0 +1,88 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                       # every experiment at quick scale
+//! repro fig3 fig11                # a subset
+//! repro all --paper               # the full 10 000-tick horizon
+//! repro fig3 --ticks 1000         # custom horizon
+//! repro list                      # enumerate experiment ids
+//! ```
+
+use std::time::Instant;
+
+use d3t_experiments::{
+    ablations, baseline, controlled, filtering, lela_params, nocoop, protocols, pullpush,
+    scalability, table1, Scale,
+};
+
+const IDS: &[&str] = &[
+    "table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9",
+    "fig10", "fig11", "scale", "ablate-f", "ablate-join", "ablate-protocols", "ext-pull",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut scale = Scale::quick();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--tiny" => scale = Scale::tiny(),
+            "--ticks" => {
+                let v = iter.next().expect("--ticks needs a value");
+                scale.n_ticks = v.parse().expect("--ticks must be an integer");
+            }
+            "--seed" => {
+                let v = iter.next().expect("--seed needs a value");
+                scale.seed = v.parse().expect("--seed must be an integer");
+            }
+            "list" => {
+                for id in IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => wanted.extend(IDS.iter().map(|s| s.to_string())),
+            other if IDS.contains(&other) => wanted.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(IDS.iter().map(|s| s.to_string()));
+    }
+    wanted.dedup();
+
+    println!(
+        "# d3t reproduction — {} repositories, {} items, {} ticks, seed {:#x}\n",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    for id in &wanted {
+        let start = Instant::now();
+        let rendered = match id.as_str() {
+            "table1" => table1::table1(scale.n_ticks, scale.seed),
+            "fig3" => baseline::fig3(&scale).render(),
+            "fig4" => protocols::fig4(),
+            "fig5" => nocoop::fig5(&scale).render(),
+            "fig6" => nocoop::fig6(&scale).render(),
+            "fig7a" => controlled::fig7a(&scale).render(),
+            "fig7b" => controlled::fig7b(&scale).render(),
+            "fig7c" => controlled::fig7c(&scale).render(),
+            "fig8" => filtering::fig8(&scale).render(),
+            "fig9" => lela_params::fig9(&scale).render(),
+            "fig10" => lela_params::fig10(&scale).render(),
+            "fig11" => protocols::fig11(&scale).render(),
+            "scale" => scalability::scale_study(&scale).render(),
+            "ablate-f" => ablations::f_sensitivity(&scale).render(),
+            "ablate-join" => ablations::join_order_study(&scale).render(),
+            "ablate-protocols" => ablations::protocol_fidelity(&scale).render(),
+            "ext-pull" => pullpush::pull_vs_push(&scale).render(),
+            _ => unreachable!("id list is closed"),
+        };
+        println!("{rendered}");
+        println!("  [{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,120 @@
+//! Figures 7a/7b/7c — controlled cooperation.
+//!
+//! With the degree of cooperation chosen by Eq. (2) rather than set to
+//! whatever `coopRes` a repository offers, the Figure-3 U-curve becomes an
+//! L-curve (7a): once the offered resources exceed the Eq.-2 degree, the
+//! extra resources are simply not used and the loss stabilizes. Figures 7b
+//! and 7c show the payoff: sweeping communication or computational delays
+//! with the degree *adapting* keeps the loss low and flat (the paper's
+//! y-axis tops out at 5%).
+
+use d3t_sim::TreeStrategy;
+
+use crate::figure::{Figure, Series};
+use crate::nocoop::{COMM_GRID, COMP_GRID};
+use crate::scale::Scale;
+
+/// Figure 7a: the base case with controlled cooperation — L-shaped curve.
+pub fn fig7a(scale: &Scale) -> Figure {
+    let mut fig = Figure::new(
+        "fig7a",
+        "Performance with Cooperation: Base Case (controlled degree, Eq. 2)",
+        "degree",
+        "loss of fidelity, %",
+    );
+    let mut used = Vec::new();
+    for t in scale.t_grid() {
+        let mut points = Vec::new();
+        for &d in &scale.degree_grid() {
+            let mut cfg = scale.base_config();
+            cfg.t_stringent_pct = t;
+            cfg.coop_res = d;
+            cfg.controlled = true;
+            let r = d3t_sim::run(&cfg);
+            points.push((d as f64, r.loss_pct()));
+            if t == 100.0 {
+                used.push(r.coop_degree_used);
+            }
+        }
+        fig.push_series(Series::new(format!("T={}", t as i64), points));
+    }
+    if let (Some(&min), Some(&max)) = (used.iter().min(), used.iter().max()) {
+        fig.note(format!(
+            "Eq.(2) caps the degree at {min}..={max} across the sweep \
+             (paper: ~4 at 25 ms comm / 12.5 ms comp)"
+        ));
+    }
+    fig
+}
+
+/// Figure 7b: controlled cooperation with varying communication delays.
+pub fn fig7b(scale: &Scale) -> Figure {
+    let mut fig = Figure::new(
+        "fig7b",
+        "Performance with Cooperation, varying Communication Delays (degree adapts)",
+        "comm delay ms",
+        "loss of fidelity, %",
+    );
+    for t in scale.t_grid() {
+        let mut points = Vec::new();
+        for &comm in &COMM_GRID {
+            let mut cfg = scale.base_config();
+            cfg.t_stringent_pct = t;
+            cfg.tree = TreeStrategy::Lela;
+            cfg.coop_res = scale.n_repos;
+            cfg.controlled = true;
+            cfg.target_mean_comm_delay_ms = Some(comm);
+            points.push((comm, d3t_sim::run(&cfg).loss_pct()));
+        }
+        fig.push_series(Series::new(format!("T={}", t as i64), points));
+    }
+    fig.note("adapting the degree to larger delays keeps loss within a few percent (paper 7b)");
+    fig
+}
+
+/// Figure 7c: controlled cooperation with varying computational delays.
+pub fn fig7c(scale: &Scale) -> Figure {
+    let mut fig = Figure::new(
+        "fig7c",
+        "Performance with Cooperation, varying Computation Delays (degree adapts)",
+        "comp delay ms",
+        "loss of fidelity, %",
+    );
+    for t in scale.t_grid() {
+        let mut points = Vec::new();
+        for &comp in &COMP_GRID {
+            let mut cfg = scale.base_config();
+            cfg.t_stringent_pct = t;
+            cfg.coop_res = scale.n_repos;
+            cfg.controlled = true;
+            cfg.comp_delay_ms = comp;
+            points.push((comp, d3t_sim::run(&cfg).loss_pct()));
+        }
+        fig.push_series(Series::new(format!("T={}", t as i64), points));
+    }
+    fig.note("larger computational delays induce smaller degrees, keeping the loss flat (paper 7c)");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_controlled_beats_uncontrolled_at_max_degree() {
+        let mut scale = Scale::tiny();
+        scale.n_ticks = 300;
+        let controlled = fig7a(&scale);
+        let uncontrolled = crate::baseline::fig3(&scale);
+        let d = *scale.degree_grid().last().unwrap() as f64;
+        let c100 = controlled.series_named("T=100").unwrap().y_at(d).unwrap();
+        let u100 = uncontrolled.series_named("T=100").unwrap().y_at(d).unwrap();
+        // At tiny scale neither tree saturates, so the two differ only by
+        // tree-shape noise; allow a small slack. At paper scale the gap is
+        // tens of points (see EXPERIMENTS.md).
+        assert!(
+            c100 <= u100 + 1.0,
+            "controlled ({c100}) must not lose to uncontrolled ({u100}) at degree {d}"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! All-pairs shortest paths.
+//!
+//! The paper: "The routing tables of all the nodes are generated using an
+//! all-pairs shortest path algorithm (by Floyd and Warshall)". We do the
+//! same, shortest by total link delay, and additionally record the hop
+//! count along each shortest path so experiments can report the ~10-hop
+//! average the paper quotes. A Dijkstra implementation is kept alongside as
+//! an independent oracle for the property tests.
+
+use crate::topology::{NodeId, Topology};
+
+/// Dense all-pairs shortest-path matrices (delay in ms and hop counts).
+#[derive(Debug, Clone)]
+pub struct Apsp {
+    n: usize,
+    /// Row-major `n × n` delay matrix; `f64::INFINITY` when unreachable.
+    delay: Vec<f64>,
+    /// Row-major `n × n` hop matrix; `u32::MAX` when unreachable.
+    hops: Vec<u32>,
+}
+
+impl Apsp {
+    /// Runs Floyd–Warshall on `topo` (O(n³); fine for the paper's 700–2100
+    /// node networks, and computed once per experiment).
+    pub fn floyd_warshall(topo: &Topology) -> Self {
+        let n = topo.n_nodes();
+        let mut delay = vec![f64::INFINITY; n * n];
+        let mut hops = vec![u32::MAX; n * n];
+        for i in 0..n {
+            delay[i * n + i] = 0.0;
+            hops[i * n + i] = 0;
+        }
+        for l in topo.links() {
+            let (a, b) = (l.a, l.b);
+            if l.delay_ms < delay[a * n + b] {
+                delay[a * n + b] = l.delay_ms;
+                delay[b * n + a] = l.delay_ms;
+                hops[a * n + b] = 1;
+                hops[b * n + a] = 1;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = delay[i * n + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                let hik = hops[i * n + k];
+                // Manual row slices help the optimizer elide bounds checks.
+                let (row_k_start, row_i_start) = (k * n, i * n);
+                for j in 0..n {
+                    let alt = dik + delay[row_k_start + j];
+                    if alt < delay[row_i_start + j] {
+                        delay[row_i_start + j] = alt;
+                        hops[row_i_start + j] = hik + hops[row_k_start + j];
+                    }
+                }
+            }
+        }
+        Self { n, delay, hops }
+    }
+
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path delay between `a` and `b` in milliseconds
+    /// (`f64::INFINITY` when disconnected).
+    pub fn delay_ms(&self, a: NodeId, b: NodeId) -> f64 {
+        self.delay[a * self.n + b]
+    }
+
+    /// Hop count along the shortest-delay path (`u32::MAX` when
+    /// disconnected).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.hops[a * self.n + b]
+    }
+
+    /// Mean shortest-path delay over the given node pairs (each unordered
+    /// pair counted once), used to report the network's "average node-node
+    /// delay" and to normalize delay sweeps.
+    pub fn mean_delay_among(&self, nodes: &[NodeId]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                let d = self.delay_ms(a, b);
+                if d.is_finite() {
+                    sum += d;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Mean hop count over the given node pairs.
+    pub fn mean_hops_among(&self, nodes: &[NodeId]) -> f64 {
+        let mut sum = 0u64;
+        let mut count = 0usize;
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                let h = self.hops(a, b);
+                if h != u32::MAX {
+                    sum += h as u64;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+/// Single-source Dijkstra over link delays — the independent oracle used by
+/// tests to validate Floyd–Warshall, and handy when only one row of the
+/// matrix is needed.
+pub fn dijkstra(topo: &Topology, src: NodeId) -> Vec<f64> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        dist: f64,
+        node: NodeId,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on dist; ties broken by node id for determinism.
+            other
+                .dist
+                .partial_cmp(&self.dist)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = topo.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry { dist: 0.0, node: src });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, li) in topo.neighbors(u) {
+            let alt = d + topo.links()[li].delay_ms;
+            if alt < dist[v] {
+                dist[v] = alt;
+                heap.push(Entry { dist: alt, node: v });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Link;
+
+    fn line_graph(n: usize) -> Topology {
+        let links = (0..n - 1)
+            .map(|i| Link { a: i, b: i + 1, delay_ms: (i + 1) as f64 })
+            .collect();
+        Topology::new(n, links)
+    }
+
+    #[test]
+    fn line_graph_distances() {
+        let topo = line_graph(5);
+        let apsp = Apsp::floyd_warshall(&topo);
+        // delay(0,4) = 1 + 2 + 3 + 4 = 10, hops = 4
+        assert_eq!(apsp.delay_ms(0, 4), 10.0);
+        assert_eq!(apsp.hops(0, 4), 4);
+        assert_eq!(apsp.delay_ms(2, 2), 0.0);
+        assert_eq!(apsp.hops(2, 2), 0);
+    }
+
+    #[test]
+    fn shortcut_beats_long_path() {
+        let topo = Topology::new(
+            4,
+            vec![
+                Link { a: 0, b: 1, delay_ms: 1.0 },
+                Link { a: 1, b: 2, delay_ms: 1.0 },
+                Link { a: 2, b: 3, delay_ms: 1.0 },
+                Link { a: 0, b: 3, delay_ms: 2.5 },
+            ],
+        );
+        let apsp = Apsp::floyd_warshall(&topo);
+        assert_eq!(apsp.delay_ms(0, 3), 2.5);
+        assert_eq!(apsp.hops(0, 3), 1);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let topo = Topology::random(80, 3.5, 5, |rng| {
+            use rand::Rng;
+            rng.gen_range(1.0..20.0)
+        });
+        let apsp = Apsp::floyd_warshall(&topo);
+        for src in [0usize, 17, 42] {
+            let d = dijkstra(&topo, src);
+            for (v, &dv) in d.iter().enumerate() {
+                assert!(
+                    (apsp.delay_ms(src, v) - dv).abs() < 1e-9,
+                    "mismatch {src}->{v}: fw={} dij={dv}",
+                    apsp.delay_ms(src, v),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_and_triangle_inequality() {
+        let topo = Topology::random(60, 3.0, 11, |_| 2.0);
+        let apsp = Apsp::floyd_warshall(&topo);
+        for a in 0..60 {
+            for b in 0..60 {
+                assert!((apsp.delay_ms(a, b) - apsp.delay_ms(b, a)).abs() < 1e-9);
+                for c in 0..60 {
+                    assert!(
+                        apsp.delay_ms(a, b) <= apsp.delay_ms(a, c) + apsp.delay_ms(c, b) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_delay_and_hops() {
+        let topo = line_graph(4); // delays 1,2,3
+        let apsp = Apsp::floyd_warshall(&topo);
+        let nodes = [0, 1, 2, 3];
+        // pairs: (0,1)=1 (0,2)=3 (0,3)=6 (1,2)=2 (1,3)=5 (2,3)=3 → mean 20/6
+        assert!((apsp.mean_delay_among(&nodes) - 20.0 / 6.0).abs() < 1e-9);
+        // hops: 1,2,3,1,2,1 → mean 10/6
+        assert!((apsp.mean_hops_among(&nodes) - 10.0 / 6.0).abs() < 1e-9);
+    }
+}

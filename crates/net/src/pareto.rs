@@ -1,0 +1,124 @@
+//! Heavy-tailed Pareto sampler for link delays.
+//!
+//! The paper draws node-to-node communication delays from a Pareto
+//! distribution with a minimum delay of 2 ms and a mean parameter of 15 ms.
+//! A (type-I) Pareto with scale `x_m` (the minimum) and shape `alpha > 1`
+//! has mean `alpha * x_m / (alpha - 1)`; we expose both the direct
+//! `(x_m, alpha)` parameterization and the paper-style `(min, mean)` one.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Type-I Pareto distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Scale parameter: the minimum value the sampler can produce.
+    pub x_m: f64,
+    /// Shape parameter; larger means lighter tail. Must exceed 1 for the
+    /// mean to exist.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Direct parameterization.
+    ///
+    /// # Panics
+    /// Panics if `x_m <= 0` or `alpha <= 0`.
+    pub fn new(x_m: f64, alpha: f64) -> Self {
+        assert!(x_m > 0.0 && x_m.is_finite(), "x_m must be positive");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        Self { x_m, alpha }
+    }
+
+    /// Paper-style parameterization: minimum value and target mean.
+    /// Solves `mean = alpha * x_m / (alpha - 1)` for `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `mean > min > 0`.
+    pub fn with_mean(min: f64, mean: f64) -> Self {
+        assert!(min > 0.0, "min must be positive");
+        assert!(mean > min, "mean must exceed min for a Pareto distribution");
+        let alpha = mean / (mean - min);
+        Self::new(min, alpha)
+    }
+
+    /// The distribution mean (infinite when `alpha <= 1`).
+    pub fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_m / (self.alpha - 1.0)
+        }
+    }
+
+    /// Draws one sample by inverse-transform: `x_m / U^(1/alpha)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() yields [0,1); complement avoids division by zero.
+        let u = 1.0 - rng.gen::<f64>();
+        self.x_m / u.powf(1.0 / self.alpha)
+    }
+
+    /// Draws a sample truncated at `cap` — used to keep single pathological
+    /// links from dominating a topology while preserving the heavy tail.
+    pub fn sample_capped<R: Rng + ?Sized>(&self, rng: &mut R, cap: f64) -> f64 {
+        self.sample(rng).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_minimum() {
+        let p = Pareto::with_mean(2.0, 15.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn with_mean_solves_alpha() {
+        let p = Pareto::with_mean(2.0, 15.0);
+        assert!((p.mean() - 15.0).abs() < 1e-9);
+        assert!((p.alpha - 15.0 / 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_mean_tracks_analytic_mean_for_light_tail() {
+        // alpha = 5 has finite variance, so the sample mean converges fast.
+        let p = Pareto::new(2.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - p.mean()).abs() / p.mean() < 0.02, "emp {emp} vs {}", p.mean());
+    }
+
+    #[test]
+    fn capped_samples_bounded() {
+        let p = Pareto::with_mean(2.0, 15.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = p.sample_capped(&mut rng, 100.0);
+            assert!((2.0..=100.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_produces_outliers() {
+        let p = Pareto::with_mean(2.0, 15.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let big = (0..50_000).map(|_| p.sample(&mut rng)).filter(|&s| s > 100.0).count();
+        assert!(big > 0, "heavy tail should produce >100ms samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must exceed min")]
+    fn rejects_mean_below_min() {
+        let _ = Pareto::with_mean(5.0, 2.0);
+    }
+}

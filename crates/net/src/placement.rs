@@ -1,0 +1,96 @@
+//! Choosing which topology nodes play which role.
+//!
+//! The paper's base configuration is a 700-node network hosting 1 source,
+//! 100 repositories and 600 routers, "with one of the nodes selected as the
+//! source". We pick the source and repositories uniformly at random
+//! (seeded), which matches that description; routers are the rest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// Role assignment over a topology's nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The single origin of all data items.
+    pub source: NodeId,
+    /// Nodes acting as cooperating repositories.
+    pub repositories: Vec<NodeId>,
+    /// Pure forwarding nodes (play no role at the overlay level).
+    pub routers: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Randomly assigns 1 source + `n_repositories` repositories among
+    /// `n_nodes` nodes; everything else becomes a router.
+    ///
+    /// # Panics
+    /// Panics if `n_repositories + 1 > n_nodes`.
+    pub fn random(n_nodes: usize, n_repositories: usize, seed: u64) -> Self {
+        assert!(
+            n_repositories < n_nodes,
+            "need at least {} nodes for 1 source + {} repositories",
+            n_repositories + 1,
+            n_repositories
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<NodeId> = (0..n_nodes).collect();
+        // Partial Fisher-Yates: shuffle the first n_repositories+1 slots.
+        for i in 0..=n_repositories {
+            let j = rng.gen_range(i..n_nodes);
+            ids.swap(i, j);
+        }
+        let source = ids[0];
+        let mut repositories: Vec<NodeId> = ids[1..=n_repositories].to_vec();
+        repositories.sort_unstable();
+        let mut routers: Vec<NodeId> = ids[n_repositories + 1..].to_vec();
+        routers.sort_unstable();
+        Self { source, repositories, routers }
+    }
+
+    /// All overlay participants: the source followed by the repositories.
+    pub fn overlay_nodes(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.repositories.len() + 1);
+        v.push(self.source);
+        v.extend_from_slice(&self.repositories);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_partition_the_nodes() {
+        let p = Placement::random(700, 100, 3);
+        assert_eq!(p.repositories.len(), 100);
+        assert_eq!(p.routers.len(), 599);
+        let mut all: Vec<NodeId> = p.overlay_nodes();
+        all.extend_from_slice(&p.routers);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 700, "roles must not overlap");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        assert_eq!(Placement::random(100, 20, 7), Placement::random(100, 20, 7));
+        assert_ne!(Placement::random(100, 20, 7), Placement::random(100, 20, 8));
+    }
+
+    #[test]
+    fn all_nodes_can_be_overlay() {
+        let p = Placement::random(5, 4, 1);
+        assert!(p.routers.is_empty());
+        assert_eq!(p.overlay_nodes().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn rejects_too_many_repositories() {
+        let _ = Placement::random(5, 5, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Random connected network topologies.
+//!
+//! The paper's physical network "was randomly generated, consisting of
+//! nodes (routers and repositories) and links". We build a connected
+//! random graph the standard way: a uniform random spanning tree over all
+//! nodes guarantees connectivity, then extra edges are sprinkled uniformly
+//! at random until the requested average degree is reached. Link delays are
+//! attached by the caller (see [`crate::network`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`Topology`].
+pub type NodeId = usize;
+
+/// An undirected link between two nodes, weighted by its propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Propagation + processing delay of this link, in milliseconds.
+    pub delay_ms: f64,
+}
+
+/// An undirected graph of `n_nodes` nodes with delay-weighted links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    n_nodes: usize,
+    links: Vec<Link>,
+    /// Adjacency list: for each node, `(neighbor, link index)` pairs.
+    adj: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit links.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, or non-positive delays.
+    pub fn new(n_nodes: usize, links: Vec<Link>) -> Self {
+        for l in &links {
+            assert!(l.a < n_nodes && l.b < n_nodes, "link endpoint out of range");
+            assert!(l.a != l.b, "self-loops are not allowed");
+            assert!(l.delay_ms > 0.0 && l.delay_ms.is_finite(), "link delay must be positive");
+        }
+        let mut adj = vec![Vec::new(); n_nodes];
+        for (i, l) in links.iter().enumerate() {
+            adj[l.a].push((l.b, i));
+            adj[l.b].push((l.a, i));
+        }
+        Self { n_nodes, links, adj }
+    }
+
+    /// Generates a connected random topology.
+    ///
+    /// * `n_nodes` — total node count (routers + repositories + source);
+    /// * `avg_degree` — target average node degree (≥ 2.0 ensures the
+    ///   spanning tree plus some redundancy, like real WAN graphs);
+    /// * `delay_of` — called once per created link to assign its delay.
+    ///
+    /// The construction is: random-permutation spanning tree (each node
+    /// after the first attaches to a uniformly random earlier node), then
+    /// uniformly random extra edges (no duplicates, no self-loops) until
+    /// `n_nodes * avg_degree / 2` links exist.
+    pub fn random<F>(n_nodes: usize, avg_degree: f64, seed: u64, mut delay_of: F) -> Self
+    where
+        F: FnMut(&mut StdRng) -> f64,
+    {
+        assert!(n_nodes >= 2, "need at least two nodes");
+        assert!(avg_degree >= 2.0, "average degree must be at least 2");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Random attachment order so that tree depth is O(log n) on average.
+        let mut order: Vec<NodeId> = (0..n_nodes).collect();
+        for i in (1..n_nodes).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let target_links = ((n_nodes as f64 * avg_degree) / 2.0).round() as usize;
+        let mut links = Vec::with_capacity(target_links.max(n_nodes - 1));
+        let mut seen = std::collections::HashSet::with_capacity(target_links * 2);
+        let key = |a: NodeId, b: NodeId| if a < b { (a, b) } else { (b, a) };
+
+        for i in 1..n_nodes {
+            let child = order[i];
+            let parent = order[rng.gen_range(0..i)];
+            seen.insert(key(child, parent));
+            links.push(Link { a: child, b: parent, delay_ms: delay_of(&mut rng) });
+        }
+        let mut attempts = 0usize;
+        while links.len() < target_links && attempts < target_links * 50 {
+            attempts += 1;
+            let a = rng.gen_range(0..n_nodes);
+            let b = rng.gen_range(0..n_nodes);
+            if a == b || seen.contains(&key(a, b)) {
+                continue;
+            }
+            seen.insert(key(a, b));
+            links.push(Link { a, b, delay_ms: delay_of(&mut rng) });
+        }
+        Self::new(n_nodes, links)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// `(neighbor, link index)` pairs for `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, usize)] {
+        &self.adj[node]
+    }
+
+    /// Average node degree.
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.links.len() as f64 / self.n_nodes as f64
+    }
+
+    /// True if every node is reachable from node 0.
+    pub fn is_connected(&self) -> bool {
+        if self.n_nodes == 0 {
+            return true;
+        }
+        let mut visited = vec![false; self.n_nodes];
+        let mut stack = vec![0];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n_nodes
+    }
+
+    /// Multiplies every link delay by `factor` — used to sweep average
+    /// communication delay while keeping the topology fixed (Figures 5
+    /// and 7b of the paper).
+    pub fn scale_delays(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        for l in &mut self.links {
+            l.delay_ms *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_delay(_: &mut StdRng) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn random_topology_is_connected() {
+        for seed in 0..5 {
+            let t = Topology::random(200, 3.5, seed, fixed_delay);
+            assert!(t.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_topology_hits_target_degree() {
+        let t = Topology::random(500, 4.0, 1, fixed_delay);
+        assert!((t.avg_degree() - 4.0).abs() < 0.3, "avg degree {}", t.avg_degree());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::random(100, 3.0, 9, fixed_delay);
+        let b = Topology::random(100, 3.0, 9, fixed_delay);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_links() {
+        let t = Topology::random(150, 4.0, 3, fixed_delay);
+        let mut seen = std::collections::HashSet::new();
+        for l in t.links() {
+            assert_ne!(l.a, l.b);
+            let k = if l.a < l.b { (l.a, l.b) } else { (l.b, l.a) };
+            assert!(seen.insert(k), "duplicate link {k:?}");
+        }
+    }
+
+    #[test]
+    fn scale_delays_multiplies_all() {
+        let mut t = Topology::random(50, 3.0, 2, fixed_delay);
+        t.scale_delays(2.5);
+        for l in t.links() {
+            assert!((l.delay_ms - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_links() {
+        let _ = Topology::new(2, vec![Link { a: 0, b: 5, delay_ms: 1.0 }]);
+    }
+
+    #[test]
+    fn two_node_graph_works() {
+        let t = Topology::random(2, 2.0, 0, fixed_delay);
+        assert!(t.is_connected());
+        assert!(!t.links().is_empty());
+    }
+}

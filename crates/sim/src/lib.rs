@@ -1,0 +1,44 @@
+//! # d3t-sim — the discrete-event simulator
+//!
+//! Drives a constructed d3g with real trace streams through a simulated
+//! network, reproducing the paper's evaluation methodology (§6.1):
+//!
+//! * the source observes each item's trace; every *change* is considered
+//!   for dissemination;
+//! * nodes process dissemination work **serially**: preparing an update for
+//!   one dependent costs the configured computational delay (12.5 ms by
+//!   default), so a node with many dependents queues — the effect that
+//!   makes very high degrees of cooperation counterproductive (the rising
+//!   half of the paper's U-curve);
+//! * each transmitted update reaches the dependent after the physical
+//!   network's shortest-path delay between the two overlay nodes;
+//! * fidelity is accounted exactly from the interleaving of source changes
+//!   and repository arrivals.
+//!
+//! The simulation is fully deterministic: a seeded configuration always
+//! produces bit-identical reports.
+//!
+//! ```
+//! use d3t_sim::{SimConfig, run};
+//!
+//! let cfg = SimConfig::small_for_tests(10, 5, 500, 50.0);
+//! let report = run(&cfg);
+//! assert!(report.fidelity.loss_pct <= 100.0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod prepared;
+pub mod report;
+
+pub use config::{SimConfig, TreeStrategy};
+pub use engine::Engine;
+pub use metrics::Metrics;
+pub use prepared::Prepared;
+pub use report::RunReport;
+
+/// Prepares and runs a complete simulation from a configuration.
+pub fn run(cfg: &SimConfig) -> RunReport {
+    Prepared::build(cfg).run()
+}

@@ -1,0 +1,260 @@
+//! End-to-end run preparation: traces → network → workload → d3g → engine.
+
+use d3t_core::coop::{controlled_degree, CoopParams};
+use d3t_core::dissemination::Disseminator;
+use d3t_core::graph::D3g;
+use d3t_core::item::ItemId;
+use d3t_core::lela::{build_d3g, DelayMatrix, LelaConfig};
+use d3t_core::workload::{Workload, WorkloadConfig};
+use d3t_net::PhysicalNetwork;
+use d3t_traces::{generate_ensemble, EnsembleConfig, Trace};
+
+use crate::config::{SimConfig, TreeStrategy};
+use crate::engine::{Engine, SourceChange};
+use crate::report::RunReport;
+
+/// A fully materialized experiment: all inputs generated, overlay built,
+/// ready to [`run`](Prepared::run). Exposed so examples and ablations can
+/// inspect or swap individual pieces.
+pub struct Prepared {
+    /// The generated item traces.
+    pub traces: Vec<Trace>,
+    /// The user workload (fidelity is measured against this).
+    pub workload: Workload,
+    /// Overlay delay matrix extracted from the physical network
+    /// (index 0 = source, `i + 1` = repository `i`).
+    pub delays: DelayMatrix,
+    /// The constructed dissemination graph.
+    pub d3g: D3g,
+    /// The degree of cooperation in force during construction.
+    pub coop_degree: usize,
+    /// Merged, time-ordered source changes.
+    pub changes: Vec<SourceChange>,
+    /// First value of each trace (all nodes start coherent at these).
+    pub initial_values: Vec<f64>,
+    /// Observation horizon, ms.
+    pub end_ms: f64,
+    cfg: SimConfig,
+}
+
+impl Prepared {
+    /// Generates every input deterministically from `cfg`.
+    pub fn build(cfg: &SimConfig) -> Self {
+        let traces = build_traces(cfg);
+        let (delays, mean_comm) = build_delays(cfg);
+        let workload = Workload::generate(
+            &WorkloadConfig::paper(cfg.n_repos, cfg.n_items, cfg.t_stringent_pct),
+            cfg.sub_seed("workload"),
+        );
+        let coop_degree = effective_degree(cfg, mean_comm);
+        let d3g = match cfg.tree {
+            TreeStrategy::Flat => D3g::flat(&workload),
+            TreeStrategy::Lela => {
+                let lela = LelaConfig {
+                    coop_degree,
+                    pref_band_pct: cfg.pref_band_pct,
+                    pref_fn: cfg.pref_fn,
+                    join_order: cfg.join_order,
+                    seed: cfg.sub_seed("lela"),
+                };
+                build_d3g(&workload, &delays, &lela)
+            }
+        };
+        let initial_values: Vec<f64> =
+            traces.iter().map(|t| t.first().expect("non-empty trace").value).collect();
+        let changes = merge_changes(&traces);
+        let end_ms = traces.iter().map(Trace::duration_ms).max().unwrap_or(0) as f64;
+        Self {
+            traces,
+            workload,
+            delays,
+            d3g,
+            coop_degree,
+            changes,
+            initial_values,
+            end_ms,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs the dissemination simulation and gathers the report.
+    pub fn run(&self) -> RunReport {
+        use d3t_core::lela::OverlayDelays;
+        let disseminator =
+            Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
+        let engine = Engine::new(
+            &self.d3g,
+            &self.workload,
+            &self.delays,
+            disseminator,
+            &self.changes,
+            &self.initial_values,
+            self.cfg.comp_delay_ms,
+            self.end_ms,
+        );
+        let (fidelity, metrics) = engine.run();
+        RunReport {
+            fidelity,
+            metrics,
+            coop_degree_used: self.coop_degree,
+            mean_comm_delay_ms: self.delays.mean_delay_ms(),
+            max_tree_depth: self.d3g.max_depth(),
+            mean_tree_depth: self.d3g.mean_depth(),
+        }
+    }
+
+    /// The configuration this run was prepared from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+}
+
+fn build_traces(cfg: &SimConfig) -> Vec<Trace> {
+    let ensemble = EnsembleConfig {
+        n_items: cfg.n_items,
+        n_ticks: cfg.n_ticks,
+        ..cfg.ensemble.clone()
+    };
+    generate_ensemble(&ensemble, cfg.sub_seed("traces"))
+}
+
+/// Extracts the overlay delay matrix from a freshly generated physical
+/// network, optionally rescaled to a target mean delay.
+fn build_delays(cfg: &SimConfig) -> (DelayMatrix, f64) {
+    let net_cfg = d3t_net::NetworkConfig {
+        n_repositories: cfg.n_repos,
+        ..cfg.network.clone()
+    };
+    assert!(
+        net_cfg.n_nodes > cfg.n_repos,
+        "network must have room for repositories plus the source"
+    );
+    let mut net = PhysicalNetwork::generate(&net_cfg, cfg.sub_seed("topology"));
+    if let Some(target) = cfg.target_mean_comm_delay_ms {
+        net.scale_to_mean_delay(target);
+    }
+    let mean = net.mean_overlay_delay_ms();
+    // Overlay index 0 = source, i+1 = i-th repository (sorted node ids).
+    let mut physical: Vec<usize> = Vec::with_capacity(cfg.n_repos + 1);
+    physical.push(net.source());
+    physical.extend_from_slice(net.repositories());
+    let n = physical.len();
+    let mut m = vec![0.0; n * n];
+    for (i, &a) in physical.iter().enumerate() {
+        for (j, &b) in physical.iter().enumerate() {
+            m[i * n + j] = if i == j { 0.0 } else { net.delay_ms(a, b) };
+        }
+    }
+    (DelayMatrix::new(n, m), mean)
+}
+
+fn effective_degree(cfg: &SimConfig, mean_comm_ms: f64) -> usize {
+    if cfg.controlled {
+        controlled_degree(CoopParams {
+            avg_comm_delay_ms: mean_comm_ms.max(f64::MIN_POSITIVE),
+            avg_comp_delay_ms: cfg.comp_delay_ms.max(f64::MIN_POSITIVE),
+            coop_res: cfg.coop_res,
+            f: cfg.coop_f,
+        })
+    } else {
+        cfg.coop_res
+    }
+}
+
+/// Merges all traces' change sequences into one time-ordered stream
+/// (stable by item index at equal timestamps). The initial tick of each
+/// trace is *not* a change — every node starts coherent at it.
+fn merge_changes(traces: &[Trace]) -> Vec<SourceChange> {
+    let mut changes: Vec<SourceChange> = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let item = ItemId(i as u32);
+        for tick in t.changes().iter().skip(1) {
+            changes.push((tick.at_ms, item, tick.value));
+        }
+    }
+    changes.sort_by_key(|&(at, item, _)| (at, item));
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3t_core::dissemination::Protocol;
+
+    #[test]
+    fn prepared_run_is_deterministic() {
+        let cfg = SimConfig::small_for_tests(8, 4, 300, 50.0);
+        let a = Prepared::build(&cfg).run();
+        let b = Prepared::build(&cfg).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn d3g_serves_all_user_needs() {
+        let cfg = SimConfig::small_for_tests(12, 6, 100, 70.0);
+        let p = Prepared::build(&cfg);
+        p.d3g.validate(Some(p.coop_degree)).unwrap();
+        for r in 0..cfg.n_repos {
+            for (item, c) in p.workload.items_of(r) {
+                let eff = p
+                    .d3g
+                    .effective(d3t_core::overlay::NodeIdx::repo(r), item)
+                    .expect("need served");
+                assert!(eff.at_least_as_stringent_as(c));
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_flag_caps_degree() {
+        let mut cfg = SimConfig::small_for_tests(10, 4, 100, 50.0);
+        cfg.coop_res = 100;
+        cfg.controlled = true;
+        let p = Prepared::build(&cfg);
+        assert!(p.coop_degree < 100, "Eq.(2) should cap the degree, got {}", p.coop_degree);
+    }
+
+    #[test]
+    fn target_mean_delay_is_respected() {
+        let mut cfg = SimConfig::small_for_tests(10, 4, 100, 50.0);
+        cfg.target_mean_comm_delay_ms = Some(80.0);
+        let p = Prepared::build(&cfg);
+        use d3t_core::lela::OverlayDelays;
+        let mean = p.delays.mean_delay_ms();
+        // The overlay matrix mean differs slightly from the full-network
+        // mean the rescale targets (the source is included in both here).
+        assert!((mean - 80.0).abs() < 25.0, "mean {mean}");
+    }
+
+    #[test]
+    fn flood_protocol_sends_more_messages_than_distributed() {
+        let base = SimConfig::small_for_tests(10, 5, 400, 50.0);
+        let distributed = Prepared::build(&base).run();
+        let mut flood_cfg = base.clone();
+        flood_cfg.protocol = Protocol::FloodAll;
+        let flood = Prepared::build(&flood_cfg).run();
+        assert!(
+            flood.metrics.messages > distributed.metrics.messages,
+            "flood {} <= filtered {}",
+            flood.metrics.messages,
+            distributed.metrics.messages
+        );
+    }
+
+    #[test]
+    fn centralized_and_distributed_send_same_messages_zero_comp() {
+        // With zero computational delay and identical trees, both exact
+        // protocols push the same updates (Figure 11b).
+        let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+        cfg.comp_delay_ms = 0.0;
+        let d = Prepared::build(&cfg).run();
+        cfg.protocol = Protocol::Centralized;
+        let c = Prepared::build(&cfg).run();
+        let dm = d.metrics.messages as f64;
+        let cm = c.metrics.messages as f64;
+        assert!(
+            (dm - cm).abs() / dm.max(1.0) < 0.35,
+            "distributed {dm} vs centralized {cm}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! The result of one simulation run.
+
+use d3t_core::fidelity::FidelityReport;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Metrics;
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Fidelity results (the y-axis of most figures).
+    pub fidelity: FidelityReport,
+    /// Message/check counters (Figure 11).
+    pub metrics: Metrics,
+    /// The degree of cooperation actually enforced (after the Eq.-2 cap
+    /// when `controlled` is set).
+    pub coop_degree_used: usize,
+    /// Mean pairwise overlay communication delay of the network the run
+    /// used, ms.
+    pub mean_comm_delay_ms: f64,
+    /// Deepest d3t over all items (the overlay "diameter" the paper
+    /// quotes: ~101 for a chain of 100 repositories).
+    pub max_tree_depth: usize,
+    /// Mean d3t depth over items.
+    pub mean_tree_depth: f64,
+}
+
+impl RunReport {
+    /// Shorthand for the headline number.
+    pub fn loss_pct(&self) -> f64 {
+        self.fidelity.loss_pct
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-text persistence for traces.
+//!
+//! Format: a header line `# trace <name>` followed by one `at_ms value`
+//! pair per line. Human-inspectable, diff-friendly, and free of any
+//! serialization dependency beyond `std`.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::trace::{Tick, Trace};
+
+/// Errors arising when parsing a persisted trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the text, with a line number and description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace I/O error: {e}"),
+            Self::Parse { line, message } => write!(f, "trace parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serializes a trace to its text representation.
+pub fn to_string(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 16 + 32);
+    let _ = writeln!(out, "# trace {}", trace.name);
+    for t in trace.ticks() {
+        let _ = writeln!(out, "{} {}", t.at_ms, t.value);
+    }
+    out
+}
+
+/// Writes a trace to any [`Write`] sink.
+pub fn write_to<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(to_string(trace).as_bytes())?;
+    w.flush()
+}
+
+/// Writes a trace to a file path.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
+    write_to(trace, std::fs::File::create(path)?)
+}
+
+/// Parses a trace from its text representation.
+pub fn from_str(text: &str) -> Result<Trace, TraceIoError> {
+    parse_lines(text.lines().enumerate().map(|(i, l)| (i + 1, l.to_string())))
+}
+
+/// Reads a trace from any [`Read`] source.
+pub fn read_from<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut numbered = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        numbered.push((i + 1, line?));
+    }
+    parse_lines(numbered)
+}
+
+/// Reads a trace from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    read_from(std::fs::File::open(path)?)
+}
+
+fn parse_lines(lines: impl IntoIterator<Item = (usize, String)>) -> Result<Trace, TraceIoError> {
+    let mut name: Option<String> = None;
+    let mut ticks: Vec<Tick> = Vec::new();
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("trace ") {
+                name = Some(n.trim().to_string());
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let at = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing timestamp"))?
+            .parse::<u64>()
+            .map_err(|e| parse_err(lineno, format!("bad timestamp: {e}")))?;
+        let value = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing value"))?
+            .parse::<f64>()
+            .map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
+        if parts.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens"));
+        }
+        if !value.is_finite() {
+            return Err(parse_err(lineno, "non-finite value"));
+        }
+        if let Some(last) = ticks.last() {
+            if at <= last.at_ms {
+                return Err(parse_err(lineno, "timestamps must be strictly increasing"));
+            }
+        }
+        ticks.push(Tick { at_ms: at, value });
+    }
+    let name = name.ok_or_else(|| parse_err(0, "missing `# trace <name>` header"))?;
+    Ok(Trace::new(name, ticks))
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse { line, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::model::PriceModel;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let g = TraceGenerator::new(PriceModel::sparse_random_walk(0.2, 0.02), 25.0, 1000)
+            .with_name("RT");
+        let t = g.generate(300, 5);
+        let text = to_string(&t);
+        let back = from_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parse_rejects_missing_header() {
+        let err = from_str("0 1.0\n1 2.0\n").unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("# trace X\n0 not_a_number\n").is_err());
+        assert!(from_str("# trace X\n0\n").is_err());
+        assert!(from_str("# trace X\n0 1.0 extra\n").is_err());
+        assert!(from_str("# trace X\n5 1.0\n5 2.0\n").is_err());
+        assert!(from_str("# trace X\n0 inf\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_and_comment_lines() {
+        let t = from_str("# trace Y\n\n# a comment\n0 1.5\n\n10 2.5\n").unwrap();
+        assert_eq!(t.name, "Y");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("d3t-traces-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.trace");
+        let t = Trace::from_pairs("F", [(0, 1.0), (100, 2.0)]);
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = from_str("# trace X\nbad line here\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+}

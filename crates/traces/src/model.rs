@@ -1,0 +1,210 @@
+//! Stochastic price models.
+//!
+//! The paper's traces are intraday stock prices polled at ~1 Hz: the polled
+//! value changes on only a fraction of polls, steps are a few cents, and the
+//! whole 10 000-poll window spans well under 2% of the price level (Table 1).
+//! Three models are provided; the sparse random walk is the default used by
+//! the experiment harness, the others exist to check that conclusions are
+//! not an artifact of one process.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic process producing the next value given the current one.
+///
+/// All models are driven by an external RNG so that trace generation is
+/// deterministic per seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriceModel {
+    /// With probability `change_prob` per poll the price moves by a
+    /// zero-mean Gaussian step of standard deviation `step_std` (dollars),
+    /// quantized to whole cents like a real quote feed; otherwise the polled
+    /// value repeats. This matches the paper's observation that "stock
+    /// prices change at a slower rate than once per second".
+    SparseRandomWalk {
+        /// Probability that a poll observes a changed price.
+        change_prob: f64,
+        /// Standard deviation of a price step, in dollars.
+        step_std: f64,
+    },
+    /// Ornstein–Uhlenbeck (mean-reverting) process, discretized per poll:
+    /// `dX = theta * (mean - X) dt + sigma dW`, with `dt = 1` poll. Changes
+    /// are also gated by `change_prob` and quantized to cents.
+    OrnsteinUhlenbeck {
+        /// Reversion level (dollars).
+        mean: f64,
+        /// Reversion speed per poll.
+        theta: f64,
+        /// Diffusion coefficient (dollars per sqrt(poll)).
+        sigma: f64,
+        /// Probability that a poll observes a changed price.
+        change_prob: f64,
+    },
+    /// Geometric Brownian motion, per-poll log-normal steps gated by
+    /// `change_prob`, quantized to cents. `sigma` is per-poll log volatility.
+    GeometricBrownian {
+        /// Per-poll drift of log price.
+        mu: f64,
+        /// Per-poll standard deviation of log price.
+        sigma: f64,
+        /// Probability that a poll observes a changed price.
+        change_prob: f64,
+    },
+}
+
+impl PriceModel {
+    /// Sparse random walk with the given per-poll change probability and
+    /// step standard deviation (dollars).
+    pub fn sparse_random_walk(change_prob: f64, step_std: f64) -> Self {
+        assert!((0.0..=1.0).contains(&change_prob), "change_prob must be in [0,1]");
+        assert!(step_std >= 0.0 && step_std.is_finite(), "step_std must be >= 0");
+        Self::SparseRandomWalk { change_prob, step_std }
+    }
+
+    /// Mean-reverting model anchored at `mean`.
+    pub fn ornstein_uhlenbeck(mean: f64, theta: f64, sigma: f64, change_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&change_prob), "change_prob must be in [0,1]");
+        assert!(theta >= 0.0 && sigma >= 0.0, "theta and sigma must be >= 0");
+        Self::OrnsteinUhlenbeck { mean, theta, sigma, change_prob }
+    }
+
+    /// Geometric Brownian motion model.
+    pub fn geometric_brownian(mu: f64, sigma: f64, change_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&change_prob), "change_prob must be in [0,1]");
+        assert!(sigma >= 0.0, "sigma must be >= 0");
+        Self::GeometricBrownian { mu, sigma, change_prob }
+    }
+
+    /// The per-poll probability that the value changes.
+    pub fn change_prob(&self) -> f64 {
+        match *self {
+            Self::SparseRandomWalk { change_prob, .. }
+            | Self::OrnsteinUhlenbeck { change_prob, .. }
+            | Self::GeometricBrownian { change_prob, .. } => change_prob,
+        }
+    }
+
+    /// Produces the value observed at the next poll given `current`.
+    ///
+    /// Values are clamped to be at least one cent — a stock price cannot go
+    /// non-positive in these workloads — and rounded to whole cents.
+    pub fn step<R: Rng + ?Sized>(&self, current: f64, rng: &mut R) -> f64 {
+        let changed = rng.gen::<f64>() < self.change_prob();
+        if !changed {
+            return current;
+        }
+        let raw = match *self {
+            Self::SparseRandomWalk { step_std, .. } => current + gaussian(rng) * step_std,
+            Self::OrnsteinUhlenbeck { mean, theta, sigma, .. } => {
+                current + theta * (mean - current) + gaussian(rng) * sigma
+            }
+            Self::GeometricBrownian { mu, sigma, .. } => {
+                current * (mu + gaussian(rng) * sigma).exp()
+            }
+        };
+        quantize_cents(raw.max(0.01))
+    }
+}
+
+/// Standard normal deviate via Box–Muller (polar form), avoiding a
+/// dependency on `rand_distr`.
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Rounds a dollar value to whole cents, as a real quote feed reports.
+pub(crate) fn quantize_cents(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_change_prob_never_moves() {
+        let m = PriceModel::sparse_random_walk(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = 50.0;
+        for _ in 0..1000 {
+            v = m.step(v, &mut rng);
+        }
+        assert_eq!(v, 50.0);
+    }
+
+    #[test]
+    fn unit_change_prob_always_quantized() {
+        let m = PriceModel::sparse_random_walk(1.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = 50.0;
+        for _ in 0..1000 {
+            v = m.step(v, &mut rng);
+            let cents = v * 100.0;
+            assert!((cents - cents.round()).abs() < 1e-9, "value {v} not in cents");
+        }
+    }
+
+    #[test]
+    fn price_stays_positive() {
+        let m = PriceModel::sparse_random_walk(1.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = 0.5;
+        for _ in 0..5000 {
+            v = m.step(v, &mut rng);
+            assert!(v >= 0.01);
+        }
+    }
+
+    #[test]
+    fn ou_reverts_toward_mean() {
+        let m = PriceModel::ornstein_uhlenbeck(100.0, 0.05, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v = 50.0;
+        for _ in 0..500 {
+            v = m.step(v, &mut rng);
+        }
+        assert!((v - 100.0).abs() < 5.0, "OU did not revert: {v}");
+    }
+
+    #[test]
+    fn gbm_scales_multiplicatively() {
+        let m = PriceModel::geometric_brownian(0.0, 1e-4, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = 40.0;
+        for _ in 0..1000 {
+            v = m.step(v, &mut rng);
+        }
+        assert!(v > 30.0 && v < 55.0, "GBM drifted implausibly: {v}");
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = gaussian(&mut rng);
+            sum += g;
+            sumsq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "change_prob")]
+    fn rejects_bad_change_prob() {
+        let _ = PriceModel::sparse_random_walk(1.5, 0.1);
+    }
+}

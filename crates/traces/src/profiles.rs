@@ -1,0 +1,151 @@
+//! Named trace profiles calibrated to Table 1 of the paper.
+//!
+//! Table 1 lists six tickers (MSFT, SUNW, DELL, QCOM, INTC, ORCL) with the
+//! min/max price observed over 10 000 polls spanning ~3–3.9 hours in
+//! Jan/Feb 2002. Each [`TraceProfile`] targets one row: the start price is
+//! the row's midpoint and the step/change parameters are chosen so the
+//! generated range statistically matches the row's spread.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::TraceGenerator;
+use crate::model::PriceModel;
+use crate::trace::Trace;
+
+/// A calibrated generator description for one Table-1 ticker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Ticker symbol.
+    pub ticker: &'static str,
+    /// Start (midpoint) price in dollars.
+    pub start_price: f64,
+    /// Target `max - min` spread from Table 1, in dollars.
+    pub target_range: f64,
+    /// Per-poll change probability.
+    pub change_prob: f64,
+    /// Gaussian step standard deviation in dollars.
+    pub step_std: f64,
+    /// Mean-reversion strength toward the start price (keeps the trace
+    /// range-bound the way intraday prices are).
+    pub reversion: f64,
+}
+
+impl TraceProfile {
+    /// Builds the deterministic trace for this profile.
+    ///
+    /// A weak Ornstein–Uhlenbeck pull toward the start price keeps the
+    /// random walk inside an intraday-like band; `step_std` is sized so the
+    /// expected range over `n_ticks` polls approximates `target_range`.
+    pub fn generate(&self, n_ticks: usize, seed: u64) -> Trace {
+        let model = PriceModel::ornstein_uhlenbeck(
+            self.start_price,
+            self.reversion,
+            self.step_std,
+            self.change_prob,
+        );
+        TraceGenerator::new(model, self.start_price, 1_000)
+            .with_name(self.ticker)
+            .generate(n_ticks, seed)
+    }
+}
+
+/// The six Table-1 rows.
+///
+/// | Ticker | Min   | Max    | Range |
+/// |--------|-------|--------|-------|
+/// | MSFT   | 60.09 | 60.85  | 0.76  |
+/// | SUNW   | 10.60 | 10.99  | 0.39  |
+/// | DELL   | 27.16 | 28.26  | 1.10  |
+/// | QCOM   | 40.38 | 41.23  | 0.85  |
+/// | INTC   | 33.66 | 34.239 | 0.58  |
+/// | ORCL   | 16.51 | 17.10  | 0.59  |
+pub fn table1_profiles() -> Vec<TraceProfile> {
+    // step_std per profile is tuned so that a 10k-tick OU path with the
+    // given change probability and reversion spans roughly the Table-1
+    // spread. Reversion and diffusion both act per *change event*: the
+    // stationary std is sigma / sqrt(2*theta), the relaxation time is
+    // 1/theta = 500 changes, so a ~1000-change trace holds only ~2
+    // independent excursions and its expected range is ~2.3 stationary
+    // stds (measured empirically; asserted within a factor ~2 in tests).
+    let mk = |ticker, mid: f64, range: f64| {
+        let reversion = 0.002;
+        let change_prob = 0.10;
+        // range ~= 2.3 * sigma / sqrt(2 * reversion)
+        let step_std = range * (2.0f64 * reversion).sqrt() / 2.3;
+        TraceProfile {
+            ticker,
+            start_price: mid,
+            target_range: range,
+            change_prob,
+            step_std: step_std.max(0.008),
+            reversion,
+        }
+    };
+    vec![
+        mk("MSFT", 60.47, 0.76),
+        mk("SUNW", 10.795, 0.39),
+        mk("DELL", 27.71, 1.10),
+        mk("QCOM", 40.805, 0.85),
+        mk("INTC", 33.95, 0.579),
+        mk("ORCL", 16.805, 0.59),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_exist() {
+        let p = table1_profiles();
+        assert_eq!(p.len(), 6);
+        let tickers: Vec<_> = p.iter().map(|x| x.ticker).collect();
+        assert_eq!(tickers, ["MSFT", "SUNW", "DELL", "QCOM", "INTC", "ORCL"]);
+    }
+
+    #[test]
+    fn generated_ranges_match_table1_order_of_magnitude() {
+        for (i, prof) in table1_profiles().iter().enumerate() {
+            // Average the range over a few seeds to damp range variance.
+            let mut ranges = Vec::new();
+            for s in 0..4u64 {
+                let t = prof.generate(10_000, 1000 + 17 * i as u64 + s);
+                ranges.push(t.stats().range());
+            }
+            let mean_range = ranges.iter().sum::<f64>() / ranges.len() as f64;
+            let ratio = mean_range / prof.target_range;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{}: mean range {:.3} vs target {:.3} (ratio {ratio:.2})",
+                prof.ticker,
+                mean_range,
+                prof.target_range
+            );
+        }
+    }
+
+    #[test]
+    fn profile_traces_stay_near_start_price() {
+        for prof in table1_profiles() {
+            let t = prof.generate(10_000, 99);
+            let s = t.stats();
+            assert!(
+                s.min > prof.start_price - 4.0 * prof.target_range
+                    && s.max < prof.start_price + 4.0 * prof.target_range,
+                "{} wandered: [{}, {}] around {}",
+                prof.ticker,
+                s.min,
+                s.max,
+                prof.start_price
+            );
+        }
+    }
+
+    #[test]
+    fn profile_duration_matches_paper_windows() {
+        // 10 000 polls at 1 Hz ~ 2.8 hours, in line with Table 1's 3-3.9 h.
+        let t = table1_profiles()[0].generate(10_000, 1);
+        let hours = t.duration_ms() as f64 / 3.6e6;
+        assert!((2.5..3.2).contains(&hours), "{hours}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Trace summary statistics — the quantities Table 1 of the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// Summary of one trace: the Table-1 columns plus the change-structure
+/// numbers the calibration tests assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Number of polls.
+    pub n_ticks: usize,
+    /// Number of polls whose value differed from the previous poll.
+    pub n_changes: usize,
+    /// Mean absolute step size over the changes (0 if no changes).
+    pub mean_abs_step: f64,
+    /// Largest single absolute step (0 if no changes).
+    pub max_abs_step: f64,
+    /// Observation span in milliseconds.
+    pub duration_ms: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`. An empty trace yields all-zero
+    /// stats with `min = max = 0`.
+    pub fn of(trace: &Trace) -> Self {
+        let ticks = trace.ticks();
+        if ticks.is_empty() {
+            return Self {
+                min: 0.0,
+                max: 0.0,
+                n_ticks: 0,
+                n_changes: 0,
+                mean_abs_step: 0.0,
+                max_abs_step: 0.0,
+                duration_ms: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut n_changes = 0usize;
+        let mut abs_sum = 0.0;
+        let mut abs_max = 0.0f64;
+        let mut prev = f64::NAN;
+        for t in ticks {
+            min = min.min(t.value);
+            max = max.max(t.value);
+            if !prev.is_nan() && t.value != prev {
+                let step = (t.value - prev).abs();
+                n_changes += 1;
+                abs_sum += step;
+                abs_max = abs_max.max(step);
+            }
+            prev = t.value;
+        }
+        Self {
+            min,
+            max,
+            n_ticks: ticks.len(),
+            n_changes,
+            mean_abs_step: if n_changes > 0 { abs_sum / n_changes as f64 } else { 0.0 },
+            max_abs_step: abs_max,
+            duration_ms: trace.duration_ms(),
+        }
+    }
+
+    /// `max - min`: the price range Table 1 implies.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Fraction of polls that changed the value.
+    pub fn change_fraction(&self) -> f64 {
+        if self.n_ticks <= 1 {
+            0.0
+        } else {
+            self.n_changes as f64 / (self.n_ticks - 1) as f64
+        }
+    }
+}
+
+/// Renders a Table-1-style row: `name  hh:mm span  min  max`.
+pub fn table1_row(name: &str, stats: &TraceStats) -> String {
+    let secs = stats.duration_ms / 1000;
+    format!(
+        "{:<8} {:>2}:{:02} hrs {:>10.2} {:>10.3}",
+        name,
+        secs / 3600,
+        (secs % 3600) / 60,
+        stats.min,
+        stats.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn stats_of_simple_trace() {
+        let t = Trace::from_pairs("X", [(0, 10.0), (1000, 10.5), (2000, 10.5), (3000, 9.8)]);
+        let s = t.stats();
+        assert_eq!(s.min, 9.8);
+        assert_eq!(s.max, 10.5);
+        assert_eq!(s.n_ticks, 4);
+        assert_eq!(s.n_changes, 2);
+        assert!((s.mean_abs_step - 0.6).abs() < 1e-12);
+        assert!((s.max_abs_step - 0.7).abs() < 1e-12);
+        assert_eq!(s.duration_ms, 3000);
+        assert!((s.range() - 0.7).abs() < 1e-12);
+        assert!((s.change_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let t = Trace::from_pairs("E", std::iter::empty::<(u64, f64)>());
+        let s = t.stats();
+        assert_eq!(s.n_ticks, 0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.change_fraction(), 0.0);
+    }
+
+    #[test]
+    fn table1_row_formats() {
+        let t = Trace::from_pairs("MSFT", [(0, 60.09), (10_800_000, 60.85)]);
+        let row = table1_row("MSFT", &t.stats());
+        assert!(row.contains("MSFT"));
+        assert!(row.contains("3:00"));
+        assert!(row.contains("60.09"));
+        assert!(row.contains("60.85"));
+    }
+}

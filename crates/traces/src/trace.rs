@@ -1,0 +1,204 @@
+//! Core trace representation: a timestamped sequence of values for one item.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::TraceStats;
+
+/// One observation of a dynamic data item: the value seen at a poll instant.
+///
+/// Timestamps are in milliseconds from the start of the observation window,
+/// mirroring the paper's ~1 Hz polling of stock quotes. Consecutive ticks may
+/// carry the same value — stock prices change slower than the polling rate —
+/// and the dissemination layer relies on that sparseness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Milliseconds since the start of the trace.
+    pub at_ms: u64,
+    /// Observed value (dollars for the stock workloads).
+    pub value: f64,
+}
+
+impl Tick {
+    /// Convenience constructor.
+    pub fn new(at_ms: u64, value: f64) -> Self {
+        Self { at_ms, value }
+    }
+}
+
+/// A complete history of one dynamic data item.
+///
+/// Invariants upheld by all constructors in this crate:
+/// * ticks are strictly increasing in `at_ms`;
+/// * all values are finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable item name (ticker symbol for the stock workloads).
+    pub name: String,
+    ticks: Vec<Tick>,
+}
+
+impl Trace {
+    /// Builds a trace from raw ticks, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if timestamps are not strictly increasing or a value is not
+    /// finite — those are programming errors in a generator, not runtime
+    /// conditions a caller should handle.
+    pub fn new(name: impl Into<String>, ticks: Vec<Tick>) -> Self {
+        for pair in ticks.windows(2) {
+            assert!(
+                pair[0].at_ms < pair[1].at_ms,
+                "trace timestamps must be strictly increasing"
+            );
+        }
+        assert!(
+            ticks.iter().all(|t| t.value.is_finite()),
+            "trace values must be finite"
+        );
+        Self { name: name.into(), ticks }
+    }
+
+    /// Builds a trace from `(at_ms, value)` pairs.
+    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        Self::new(
+            name,
+            pairs.into_iter().map(|(at_ms, value)| Tick { at_ms, value }).collect(),
+        )
+    }
+
+    /// Number of ticks in the trace.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True when the trace holds no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// The observations, in increasing timestamp order.
+    pub fn ticks(&self) -> &[Tick] {
+        &self.ticks
+    }
+
+    /// First tick, if any.
+    pub fn first(&self) -> Option<Tick> {
+        self.ticks.first().copied()
+    }
+
+    /// Last tick, if any.
+    pub fn last(&self) -> Option<Tick> {
+        self.ticks.last().copied()
+    }
+
+    /// Total observation span in milliseconds (0 for traces with < 2 ticks).
+    pub fn duration_ms(&self) -> u64 {
+        match (self.ticks.first(), self.ticks.last()) {
+            (Some(f), Some(l)) => l.at_ms - f.at_ms,
+            _ => 0,
+        }
+    }
+
+    /// The value in force at time `at_ms` (value of the latest tick at or
+    /// before `at_ms`), or `None` before the first tick.
+    pub fn value_at(&self, at_ms: u64) -> Option<f64> {
+        match self.ticks.binary_search_by_key(&at_ms, |t| t.at_ms) {
+            Ok(i) => Some(self.ticks[i].value),
+            Err(0) => None,
+            Err(i) => Some(self.ticks[i - 1].value),
+        }
+    }
+
+    /// Ticks whose value differs from the previous tick's value — the
+    /// "updates" the source actually has to consider disseminating.
+    pub fn changes(&self) -> Vec<Tick> {
+        let mut out = Vec::new();
+        let mut prev = f64::NAN;
+        for &t in &self.ticks {
+            if t.value != prev {
+                out.push(t);
+                prev = t.value;
+            }
+        }
+        out
+    }
+
+    /// Summary statistics used for Table 1 and calibration tests.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// A copy truncated to the first `n` ticks (useful for scaled-down
+    /// benchmark configurations).
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            ticks: self.ticks.iter().take(n).copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(pairs: &[(u64, f64)]) -> Trace {
+        Trace::from_pairs("X", pairs.iter().copied())
+    }
+
+    #[test]
+    fn value_at_interpolates_step_function() {
+        let tr = t(&[(0, 1.0), (1000, 2.0), (3000, 1.5)]);
+        assert_eq!(tr.value_at(0), Some(1.0));
+        assert_eq!(tr.value_at(999), Some(1.0));
+        assert_eq!(tr.value_at(1000), Some(2.0));
+        assert_eq!(tr.value_at(2500), Some(2.0));
+        assert_eq!(tr.value_at(3000), Some(1.5));
+        assert_eq!(tr.value_at(99_999), Some(1.5));
+    }
+
+    #[test]
+    fn value_before_first_tick_is_none() {
+        let tr = t(&[(100, 1.0)]);
+        assert_eq!(tr.value_at(99), None);
+    }
+
+    #[test]
+    fn changes_collapses_repeats() {
+        let tr = t(&[(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0), (4, 1.0)]);
+        let ch = tr.changes();
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch[0].at_ms, 0);
+        assert_eq!(ch[1].at_ms, 2);
+        assert_eq!(ch[2].at_ms, 4);
+    }
+
+    #[test]
+    fn duration_and_len() {
+        let tr = t(&[(5, 1.0), (105, 1.1)]);
+        assert_eq!(tr.duration_ms(), 100);
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+        assert_eq!(t(&[]).duration_ms(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_ticks() {
+        let _ = t(&[(10, 1.0), (5, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        let _ = t(&[(0, f64::NAN)]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let tr = t(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let cut = tr.truncated(2);
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cut.last().unwrap().value, 2.0);
+    }
+}

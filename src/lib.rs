@@ -1,0 +1,22 @@
+//! # d3t — Maintaining Coherency of Dynamic Data in Cooperating Repositories
+//!
+//! A full reproduction of Shah, Ramamritham & Shenoy (VLDB 2002). This
+//! facade crate re-exports the workspace crates:
+//!
+//! * [`traces`] — dynamic data streams (synthetic stock-price traces);
+//! * [`net`] — the simulated physical network (random topology, Pareto
+//!   link delays, all-pairs shortest paths);
+//! * [`core`] — the paper's contribution: coherency model, degree-of-
+//!   cooperation heuristic, LeLA tree construction, and the dissemination
+//!   protocols;
+//! * [`sim`] — the discrete-event simulator that measures fidelity and
+//!   overheads;
+//! * [`experiments`] — ready-made reproductions of every table and figure.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use d3t_core as core;
+pub use d3t_experiments as experiments;
+pub use d3t_net as net;
+pub use d3t_sim as sim;
+pub use d3t_traces as traces;

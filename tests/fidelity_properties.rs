@@ -1,0 +1,139 @@
+//! Property-based tests of the fidelity metric (§6.2): exact interval
+//! accounting, aggregation, and agreement with a brute-force oracle.
+
+use d3t::core::coherency::Coherency;
+use d3t::core::fidelity::FidelityTracker;
+use d3t::core::item::ItemId;
+use d3t::core::overlay::NodeIdx;
+use d3t::core::workload::Workload;
+use proptest::prelude::*;
+
+/// Brute-force oracle: sample the violation state on a fine grid.
+fn sampled_loss(
+    c: f64,
+    source_events: &[(f64, f64)],
+    repo_events: &[(f64, f64)],
+    end: f64,
+    step: f64,
+) -> f64 {
+    let mut violated = 0usize;
+    let mut total = 0usize;
+    let value_at = |events: &[(f64, f64)], t: f64, initial: f64| {
+        events.iter().take_while(|&&(at, _)| at <= t).last().map_or(initial, |&(_, v)| v)
+    };
+    let mut t = step / 2.0;
+    while t < end {
+        let s = value_at(source_events, t, 1.0);
+        let r = value_at(repo_events, t, 1.0);
+        if (s - r).abs() > c + 1e-9 {
+            violated += 1;
+        }
+        total += 1;
+        t += step;
+    }
+    violated as f64 / total as f64 * 100.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tracker's exact interval accounting agrees with dense sampling.
+    #[test]
+    fn tracker_matches_sampling_oracle(
+        source_steps in proptest::collection::vec((1u32..100, -50i32..=50), 1..20),
+        repo_lag in 1u32..30,
+        c_cents in 1u32..80,
+    ) {
+        let c = c_cents as f64 / 100.0;
+        let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
+        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
+        let mut t = 0.0f64;
+        let mut v = 1.0f64;
+        let mut source_events = Vec::new();
+        let mut repo_events = Vec::new();
+        for &(dt, dv) in &source_steps {
+            t += dt as f64;
+            v = (v + dv as f64 / 100.0).max(0.01);
+            source_events.push((t, v));
+            // The repository receives the same value `repo_lag` ms later.
+            repo_events.push((t + repo_lag as f64, v));
+        }
+        // The tracker requires events in global timestamp order, exactly
+        // as the discrete-event engine delivers them: merge both streams.
+        let mut merged: Vec<(f64, f64, bool)> = source_events
+            .iter()
+            .map(|&(at, v)| (at, v, true))
+            .chain(repo_events.iter().map(|&(at, v)| (at, v, false)))
+            .collect();
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
+        for (at, value, is_source) in merged {
+            if is_source {
+                tracker.source_update(at, ItemId(0), value);
+            } else {
+                tracker.repo_update(at, NodeIdx::repo(0), ItemId(0), value);
+            }
+        }
+        let end = t + repo_lag as f64 + 50.0;
+        let report = tracker.finish(end);
+        let oracle = sampled_loss(c, &source_events, &repo_events, end, 0.05);
+        prop_assert!((report.loss_pct - oracle).abs() < 1.5,
+            "tracker {} vs oracle {}", report.loss_pct, oracle);
+    }
+
+    /// Loss is monotone in the tolerance: tightening `c` can only increase
+    /// measured loss for identical event streams.
+    #[test]
+    fn loss_is_monotone_in_tolerance(
+        source_steps in proptest::collection::vec((1u32..50, -40i32..=40), 1..15),
+        lag in 5u32..50,
+    ) {
+        let run = |c: f64| {
+            let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
+            let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
+            let mut t = 0.0;
+            let mut v = 1.0;
+            let mut events: Vec<(f64, f64, bool)> = Vec::new();
+            for &(dt, dv) in &source_steps {
+                t += dt as f64;
+                v = (v + dv as f64 / 100.0).max(0.01);
+                events.push((t, v, true));
+                events.push((t + lag as f64, v, false));
+            }
+            // Deliver in global time order, as the engine does.
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
+            for (at, value, is_source) in events {
+                if is_source {
+                    tracker.source_update(at, ItemId(0), value);
+                } else {
+                    tracker.repo_update(at, NodeIdx::repo(0), ItemId(0), value);
+                }
+            }
+            tracker.finish(t + lag as f64 + 10.0).loss_pct
+        };
+        let tight = run(0.01);
+        let loose = run(0.80);
+        prop_assert!(tight >= loose - 1e-9, "tight {tight} < loose {loose}");
+    }
+
+    /// A repository that mirrors the source instantly has zero loss no
+    /// matter the stream.
+    #[test]
+    fn instant_mirror_has_zero_loss(
+        source_steps in proptest::collection::vec((1u32..50, -40i32..=40), 1..25),
+        c_cents in 1u32..50,
+    ) {
+        let c = c_cents as f64 / 100.0;
+        let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
+        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
+        let mut t = 0.0;
+        let mut v = 1.0;
+        for &(dt, dv) in &source_steps {
+            t += dt as f64;
+            v = (v + dv as f64 / 100.0).max(0.01);
+            tracker.source_update(t, ItemId(0), v);
+            tracker.repo_update(t, NodeIdx::repo(0), ItemId(0), v);
+        }
+        let report = tracker.finish(t + 100.0);
+        prop_assert_eq!(report.loss_pct, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the LeLA construction invariants (§4):
+//!
+//! * every user need is served at sufficient stringency with a path from
+//!   the source (no orphans);
+//! * Eq. (1) holds along every edge (parents at least as stringent);
+//! * no node ever exceeds its degree of cooperation;
+//! * per-item structures are trees (single parent, acyclic, rooted);
+//! * augmentation only ever *tightens* coherencies.
+
+use d3t::core::coherency::Coherency;
+use d3t::core::lela::{build_d3g, DelayMatrix, JoinOrder, LelaConfig, PreferenceFunction};
+use d3t::core::overlay::NodeIdx;
+use d3t::core::workload::Workload;
+use proptest::prelude::*;
+
+fn workload_strategy(
+    max_repos: usize,
+    max_items: usize,
+) -> impl Strategy<Value = Workload> {
+    (2..=max_repos, 1..=max_items).prop_flat_map(|(n_repos, n_items)| {
+        let cell = prop_oneof![
+            2 => (1u32..=100).prop_map(|cents| Some(cents as f64 / 100.0)),
+            1 => Just(None),
+        ];
+        proptest::collection::vec(proptest::collection::vec(cell, n_items), n_repos).prop_map(
+            move |mut rows| {
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if row.iter().all(Option::is_none) {
+                        row[i % n_items] = Some(0.5);
+                    }
+                }
+                Workload::from_needs(
+                    rows.into_iter()
+                        .map(|r| r.into_iter().map(|c| c.map(Coherency::new)).collect())
+                        .collect(),
+                )
+            },
+        )
+    })
+}
+
+fn delay_strategy(n: usize) -> impl Strategy<Value = DelayMatrix> {
+    proptest::collection::vec(1u32..=120, n * n).prop_map(move |raw| {
+        let mut m = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = raw[i * n + j] as f64;
+                m[i * n + j] = d;
+                m[j * n + i] = d;
+            }
+        }
+        DelayMatrix::new(n, m)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lela_invariants_hold_for_random_inputs(
+        workload in workload_strategy(14, 5),
+        degree in 1usize..=14,
+        band in prop_oneof![Just(1.0), Just(5.0), Just(25.0)],
+        pref in prop_oneof![Just(PreferenceFunction::P1), Just(PreferenceFunction::P2)],
+        order in prop_oneof![
+            Just(JoinOrder::Random),
+            Just(JoinOrder::Sequential),
+            Just(JoinOrder::StringentFirst)
+        ],
+        seed in 0u64..1000,
+    ) {
+        let n = workload.n_repos() + 1;
+        // A fixed-seed random-ish delay matrix derived from `seed` keeps
+        // the strategy space manageable.
+        let delays = DelayMatrix::uniform(n, 5.0 + (seed % 40) as f64);
+        let cfg = LelaConfig {
+            coop_degree: degree,
+            pref_band_pct: band,
+            pref_fn: pref,
+            join_order: order,
+            seed,
+        };
+        let g = build_d3g(&workload, &delays, &cfg);
+        prop_assert!(g.validate(Some(degree)).is_ok(), "{:?}", g.validate(Some(degree)));
+        for r in 0..workload.n_repos() {
+            let node = NodeIdx::repo(r);
+            for (item, c) in workload.items_of(r) {
+                let eff = g.effective(node, item);
+                prop_assert!(eff.is_some(), "repo {r} unserved for {item}");
+                prop_assert!(eff.unwrap().at_least_as_stringent_as(c),
+                    "augmentation must only tighten: {:?} vs {c}", eff);
+                prop_assert!(g.depth_in_item_tree(node, item).is_some(),
+                    "repo {r} not rooted for {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn lela_handles_heterogeneous_delays(
+        workload in workload_strategy(10, 4),
+        delays in delay_strategy(11),
+        degree in 1usize..=10,
+    ) {
+        // The strategy generates an 11-node matrix; only run when the
+        // workload matches that overlay size.
+        prop_assume!(workload.n_repos() + 1 == 11);
+        let g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 3));
+        prop_assert!(g.validate(Some(degree)).is_ok());
+    }
+
+    /// The d3g is the union of per-item trees: the number of distinct
+    /// dependents of any node never exceeds the number of repositories,
+    /// and total edges per item equal the number of holders minus one
+    /// (tree edge count).
+    #[test]
+    fn per_item_structures_are_trees(
+        workload in workload_strategy(12, 4),
+        degree in 1usize..=12,
+    ) {
+        let delays = DelayMatrix::uniform(workload.n_repos() + 1, 20.0);
+        let g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 11));
+        for i in 0..workload.n_items() {
+            let item = d3t::core::item::ItemId(i as u32);
+            let holders = (1..g.n_nodes())
+                .filter(|&n| g.effective(NodeIdx(n as u32), item).is_some())
+                .count();
+            let edges: usize = (0..g.n_nodes())
+                .map(|n| g.children_of(NodeIdx(n as u32), item).len())
+                .sum();
+            prop_assert_eq!(edges, holders, "item {}: {} edges for {} holders", i, edges, holders);
+        }
+    }
+}
+
+/// Stress: a hundred repositories all wanting one hot item must form a
+/// valid bounded-degree tree of logarithmic-ish depth.
+#[test]
+fn hot_item_tree_depth_is_bounded() {
+    let needs: Vec<Vec<Option<Coherency>>> =
+        (0..100).map(|i| vec![Some(Coherency::new(0.01 + (i as f64) * 0.002))]).collect();
+    let workload = Workload::from_needs(needs);
+    let delays = DelayMatrix::uniform(101, 25.0);
+    for degree in [2usize, 4, 8] {
+        let g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 5));
+        g.validate(Some(degree)).unwrap();
+        let depth = g.max_depth();
+        // A degree-d tree over 100 nodes needs at least log_d(100) levels;
+        // LeLA fills levels greedily so it should stay near that bound.
+        let min_depth = (100f64.ln() / (degree as f64).ln()).floor() as usize;
+        assert!(
+            depth >= min_depth && depth <= 100 / degree + min_depth + 2,
+            "degree {degree}: depth {depth} outside [{}, {}]",
+            min_depth,
+            100 / degree + min_depth + 2
+        );
+    }
+}
