@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt check =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== repro smoke =="
+cargo run --release -p d3t-experiments --bin repro -- fig4 --tiny > /dev/null
+
+echo "CI green."

@@ -22,14 +22,10 @@ fn sim_scaling(c: &mut Criterion) {
 fn network_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale");
     for nodes in [140usize, 700] {
-        group.bench_with_input(
-            BenchmarkId::new("network_gen_nodes", nodes),
-            &nodes,
-            |b, &n| {
-                let cfg = NetworkConfig::small(n, n / 7);
-                b.iter(|| black_box(PhysicalNetwork::generate(&cfg, 5)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("network_gen_nodes", nodes), &nodes, |b, &n| {
+            let cfg = NetworkConfig::small(n, n / 7);
+            b.iter(|| black_box(PhysicalNetwork::generate(&cfg, 5)));
+        });
     }
     group.finish();
 }

@@ -94,9 +94,8 @@ impl Disseminator {
     pub fn new(protocol: Protocol, d3g: &D3g, initial_values: &[f64]) -> Self {
         assert_eq!(initial_values.len(), d3g.n_items(), "one initial value per item");
         let n_items = d3g.n_items();
-        let last_received: Vec<Vec<f64>> = (0..n_items)
-            .map(|i| vec![initial_values[i]; d3g.n_nodes()])
-            .collect();
+        let last_received: Vec<Vec<f64>> =
+            (0..n_items).map(|i| vec![initial_values[i]; d3g.n_nodes()]).collect();
         let source_lists = if protocol == Protocol::Centralized {
             (0..n_items)
                 .map(|i| {
@@ -162,8 +161,7 @@ impl Disseminator {
         let c_self = if node.is_source() {
             Coherency::EXACT
         } else {
-            d3g.effective(node, update.item)
-                .expect("node received an item it does not hold")
+            d3g.effective(node, update.item).expect("node received an item it does not hold")
         };
         let mut to = Vec::new();
         let mut checks = 0u64;
@@ -190,7 +188,9 @@ impl Disseminator {
         self.last_received[item.index()][SOURCE.index()] = value;
         let (tag, checks) = centralized::tag_update(self, item, value);
         match tag {
-            None => Forwarding { to: Vec::new(), update: Update { item, value, tag: None }, checks },
+            None => {
+                Forwarding { to: Vec::new(), update: Update { item, value, tag: None }, checks }
+            }
             Some(tag) => {
                 let update = Update { item, value, tag: Some(tag) };
                 let mut fwd = centralized::forward(self, d3g, SOURCE, update);

@@ -6,6 +6,10 @@
 //! at source ticks and repository-arrival instants; the tracker does exact
 //! interval accounting over those events.
 //!
+//! Times are **integer microseconds** end to end — the same currency the
+//! discrete-event engine schedules in — so the accounting is exact integer
+//! arithmetic until the final percentage division.
+//!
 //! Aggregation follows the paper: "The fidelity of a repository is the mean
 //! fidelity over all data items stored at that repository, while the
 //! overall fidelity of the system is the mean fidelity of all
@@ -30,8 +34,8 @@ struct PairState {
     item: u32,
     c: Coherency,
     repo_value: f64,
-    violation_started: Option<f64>,
-    violation_total_ms: f64,
+    violation_started: Option<u64>,
+    violation_total_us: u64,
 }
 
 /// Exact interval-accounting fidelity tracker.
@@ -47,13 +51,13 @@ pub struct FidelityTracker {
     /// `pair_of[repo][item]` → index into `pairs`, `usize::MAX` if
     /// unmeasured.
     pair_of: Vec<Vec<usize>>,
-    start_ms: f64,
+    start_us: u64,
 }
 
 impl FidelityTracker {
-    /// Starts tracking at time `start_ms` with every repository coherent at
-    /// `initial_values[item]`.
-    pub fn new(workload: &Workload, initial_values: &[f64], start_ms: f64) -> Self {
+    /// Starts tracking at time `start_us` (µs) with every repository
+    /// coherent at `initial_values[item]`.
+    pub fn new(workload: &Workload, initial_values: &[f64], start_us: u64) -> Self {
         assert_eq!(initial_values.len(), workload.n_items(), "one initial value per item");
         let n_items = workload.n_items();
         let mut pairs = Vec::new();
@@ -68,7 +72,7 @@ impl FidelityTracker {
                     c,
                     repo_value: initial_values[item.index()],
                     violation_started: None,
-                    violation_total_ms: 0.0,
+                    violation_total_us: 0,
                 });
                 pairs_by_item[item.index()].push(idx);
                 row[item.index()] = idx;
@@ -80,26 +84,26 @@ impl FidelityTracker {
             pairs,
             pairs_by_item,
             pair_of,
-            start_ms,
+            start_us,
         }
     }
 
-    /// Records a new source value at time `at_ms` and re-evaluates every
-    /// measured pair on the item.
-    pub fn source_update(&mut self, at_ms: f64, item: ItemId, value: f64) {
+    /// Records a new source value at time `at_us` (µs) and re-evaluates
+    /// every measured pair on the item.
+    pub fn source_update(&mut self, at_us: u64, item: ItemId, value: f64) {
         self.source_value[item.index()] = value;
         // Split borrows: the index list is read while pair states mutate.
         let indices = std::mem::take(&mut self.pairs_by_item[item.index()]);
         for &i in &indices {
             let p = &mut self.pairs[i];
-            Self::transition(p, at_ms, value);
+            Self::transition(p, at_us, value);
         }
         self.pairs_by_item[item.index()] = indices;
     }
 
-    /// Records an update arriving at a repository at time `at_ms`. Arrivals
-    /// for unmeasured (relay-only) items are ignored.
-    pub fn repo_update(&mut self, at_ms: f64, node: NodeIdx, item: ItemId, value: f64) {
+    /// Records an update arriving at a repository at time `at_us` (µs).
+    /// Arrivals for unmeasured (relay-only) items are ignored.
+    pub fn repo_update(&mut self, at_us: u64, node: NodeIdx, item: ItemId, value: f64) {
         assert!(!node.is_source(), "the source has no measured pairs");
         let repo = node.index() - 1;
         let idx = self.pair_of[repo][item.index()];
@@ -109,37 +113,37 @@ impl FidelityTracker {
         let sv = self.source_value[item.index()];
         let p = &mut self.pairs[idx];
         p.repo_value = value;
-        Self::transition(p, at_ms, sv);
+        Self::transition(p, at_us, sv);
     }
 
-    fn transition(p: &mut PairState, at_ms: f64, source_value: f64) {
+    fn transition(p: &mut PairState, at_us: u64, source_value: f64) {
         let violating_now = p.c.violated_by(source_value, p.repo_value);
         match (p.violation_started, violating_now) {
-            (None, true) => p.violation_started = Some(at_ms),
+            (None, true) => p.violation_started = Some(at_us),
             (Some(since), false) => {
-                p.violation_total_ms += at_ms - since;
+                p.violation_total_us += at_us - since;
                 p.violation_started = None;
             }
             _ => {}
         }
     }
 
-    /// Closes all open violation intervals at `end_ms` and produces the
-    /// report. The tracker may not be used afterwards.
-    pub fn finish(mut self, end_ms: f64) -> FidelityReport {
-        assert!(end_ms >= self.start_ms, "end must not precede start");
-        let duration = end_ms - self.start_ms;
+    /// Closes all open violation intervals at `end_us` (µs) and produces
+    /// the report. The tracker may not be used afterwards.
+    pub fn finish(mut self, end_us: u64) -> FidelityReport {
+        assert!(end_us >= self.start_us, "end must not precede start");
+        let duration_us = end_us - self.start_us;
         for p in &mut self.pairs {
             if let Some(since) = p.violation_started.take() {
-                p.violation_total_ms += end_ms - since;
+                p.violation_total_us += end_us - since;
             }
         }
         let mut per_repo_loss = vec![0.0f64; self.n_repos];
         let mut per_repo_n = vec![0usize; self.n_repos];
         let mut pair_losses = Vec::with_capacity(self.pairs.len());
         for p in &self.pairs {
-            let loss = if duration > 0.0 {
-                (p.violation_total_ms / duration).clamp(0.0, 1.0) * 100.0
+            let loss = if duration_us > 0 {
+                (p.violation_total_us as f64 / duration_us as f64).clamp(0.0, 1.0) * 100.0
             } else {
                 0.0
             };
@@ -168,7 +172,7 @@ impl FidelityTracker {
             loss_pct: overall,
             per_repo_loss_pct: repo_loss,
             pair_losses,
-            duration_ms: duration,
+            duration_ms: duration_us as f64 / 1000.0,
         }
     }
 }
@@ -221,16 +225,16 @@ mod tests {
 
     fn one_pair(tol: f64) -> (Workload, FidelityTracker) {
         let w = Workload::from_needs(vec![vec![Some(c(tol))]]);
-        let t = FidelityTracker::new(&w, &[1.0], 0.0);
+        let t = FidelityTracker::new(&w, &[1.0], 0);
         (w, t)
     }
 
     #[test]
     fn perfectly_coherent_run_has_zero_loss() {
         let (_w, mut t) = one_pair(0.5);
-        t.source_update(100.0, ItemId(0), 1.2);
-        t.source_update(200.0, ItemId(0), 1.4);
-        let r = t.finish(1000.0);
+        t.source_update(100000, ItemId(0), 1.2);
+        t.source_update(200000, ItemId(0), 1.4);
+        let r = t.finish(1000000);
         assert_eq!(r.loss_pct, 0.0);
         assert_eq!(r.fidelity_pct(), 100.0);
     }
@@ -239,9 +243,9 @@ mod tests {
     fn violation_interval_measured_exactly() {
         let (_w, mut t) = one_pair(0.5);
         // Source jumps out of tolerance at t=100; repo catches up at t=350.
-        t.source_update(100.0, ItemId(0), 2.0);
-        t.repo_update(350.0, NodeIdx::repo(0), ItemId(0), 2.0);
-        let r = t.finish(1000.0);
+        t.source_update(100000, ItemId(0), 2.0);
+        t.repo_update(350000, NodeIdx::repo(0), ItemId(0), 2.0);
+        let r = t.finish(1000000);
         // 250ms of violation over 1000ms = 25% loss.
         assert!((r.loss_pct - 25.0).abs() < 1e-9, "{}", r.loss_pct);
     }
@@ -249,28 +253,28 @@ mod tests {
     #[test]
     fn open_violation_charged_to_end() {
         let (_w, mut t) = one_pair(0.5);
-        t.source_update(600.0, ItemId(0), 2.0);
-        let r = t.finish(1000.0);
+        t.source_update(600000, ItemId(0), 2.0);
+        let r = t.finish(1000000);
         assert!((r.loss_pct - 40.0).abs() < 1e-9, "{}", r.loss_pct);
     }
 
     #[test]
     fn violation_toggles_accumulate() {
         let (_w, mut t) = one_pair(0.5);
-        t.source_update(100.0, ItemId(0), 2.0); // violate
-        t.source_update(200.0, ItemId(0), 1.2); // back in tolerance
-        t.source_update(700.0, ItemId(0), 3.0); // violate again
-        t.repo_update(800.0, NodeIdx::repo(0), ItemId(0), 3.0);
-        let r = t.finish(1000.0);
+        t.source_update(100000, ItemId(0), 2.0); // violate
+        t.source_update(200000, ItemId(0), 1.2); // back in tolerance
+        t.source_update(700000, ItemId(0), 3.0); // violate again
+        t.repo_update(800000, NodeIdx::repo(0), ItemId(0), 3.0);
+        let r = t.finish(1000000);
         assert!((r.loss_pct - 20.0).abs() < 1e-9, "{}", r.loss_pct);
     }
 
     #[test]
     fn repo_update_for_unmeasured_item_is_ignored() {
         let w = Workload::from_needs(vec![vec![Some(c(0.5)), None]]);
-        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
-        t.repo_update(10.0, NodeIdx::repo(0), ItemId(1), 99.0);
-        let r = t.finish(100.0);
+        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0);
+        t.repo_update(10000, NodeIdx::repo(0), ItemId(1), 99.0);
+        let r = t.finish(100000);
         assert_eq!(r.loss_pct, 0.0);
     }
 
@@ -282,9 +286,9 @@ mod tests {
             vec![Some(c(0.1)), Some(c(10.0))],
             vec![None, Some(c(10.0))],
         ]);
-        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
-        t.source_update(0.0, ItemId(0), 5.0); // violates repo0/item0 forever
-        let r = t.finish(1000.0);
+        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0);
+        t.source_update(0, ItemId(0), 5.0); // violates repo0/item0 forever
+        let r = t.finish(1000000);
         assert!((r.per_repo_loss_pct[0] - 50.0).abs() < 1e-9);
         assert_eq!(r.per_repo_loss_pct[1], 0.0);
         assert!((r.loss_pct - 25.0).abs() < 1e-9);
@@ -294,8 +298,8 @@ mod tests {
     #[test]
     fn pair_losses_enumerate_measured_pairs() {
         let w = Workload::from_needs(vec![vec![Some(c(0.1)), Some(c(0.2))]]);
-        let t = FidelityTracker::new(&w, &[1.0, 1.0], 0.0);
-        let r = t.finish(10.0);
+        let t = FidelityTracker::new(&w, &[1.0, 1.0], 0);
+        let r = t.finish(10000);
         assert_eq!(r.pair_losses.len(), 2);
         assert_eq!(r.pair_losses[0].item, ItemId(0));
         assert_eq!(r.pair_losses[1].coherency, c(0.2));
@@ -304,7 +308,7 @@ mod tests {
     #[test]
     fn zero_duration_run_reports_zero_loss() {
         let (_w, t) = one_pair(0.5);
-        let r = t.finish(0.0);
+        let r = t.finish(0);
         assert_eq!(r.loss_pct, 0.0);
         assert_eq!(r.duration_ms, 0.0);
     }

@@ -112,12 +112,8 @@ impl D3g {
         assert!(parent != child, "self-edges are not allowed");
         assert!(!child.is_source(), "the source cannot be a dependent");
         let (pi, ci, ii) = (parent.index(), child.index(), item.index());
-        assert!(
-            self.parent[ii][ci].is_none(),
-            "{child} already has a parent for {item}"
-        );
-        let pc = self.effective[pi][ii]
-            .unwrap_or_else(|| panic!("{parent} does not hold {item}"));
+        assert!(self.parent[ii][ci].is_none(), "{child} already has a parent for {item}");
+        let pc = self.effective[pi][ii].unwrap_or_else(|| panic!("{parent} does not hold {item}"));
         assert!(
             pc.at_least_as_stringent_as(c),
             "Eq.(1) violated: parent {parent} holds {item} at {pc}, child needs {c}"
@@ -242,10 +238,7 @@ impl D3g {
     /// the repository layout network" measured in overlay hops from the
     /// source (their chain of 100 repositories has diameter ~101).
     pub fn max_depth(&self) -> usize {
-        (0..self.n_items)
-            .map(|i| self.d3t_stats(ItemId(i as u32)).depth)
-            .max()
-            .unwrap_or(0)
+        (0..self.n_items).map(|i| self.d3t_stats(ItemId(i as u32)).depth).max().unwrap_or(0)
     }
 
     /// Mean tree depth over items (counting only items someone holds).
@@ -335,10 +328,8 @@ mod tests {
 
     #[test]
     fn flat_graph_wires_source_to_all() {
-        let w = Workload::from_needs(vec![
-            vec![Some(c(0.1)), None],
-            vec![Some(c(0.2)), Some(c(0.3))],
-        ]);
+        let w =
+            Workload::from_needs(vec![vec![Some(c(0.1)), None], vec![Some(c(0.2)), Some(c(0.3))]]);
         let g = D3g::flat(&w);
         assert_eq!(g.parent_of(NodeIdx::repo(0), ItemId(0)), Some(SOURCE));
         assert_eq!(g.parent_of(NodeIdx::repo(1), ItemId(1)), Some(SOURCE));

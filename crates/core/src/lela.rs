@@ -118,10 +118,7 @@ impl DelayMatrix {
             for j in 0..n {
                 let d = delays[i * n + j];
                 assert!(d >= 0.0 && d.is_finite(), "delays must be finite and >= 0");
-                assert!(
-                    (d - delays[j * n + i]).abs() < 1e-9,
-                    "matrix must be symmetric"
-                );
+                assert!((d - delays[j * n + i]).abs() < 1e-9, "matrix must be symmetric");
             }
         }
         Self { n, delays }
@@ -134,6 +131,53 @@ impl DelayMatrix {
             m[i * n + i] = 0.0;
         }
         Self::new(n, m)
+    }
+
+    /// Number of overlay nodes covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// A flat `n × n` matrix of one-way delays in **integer microseconds** —
+/// the discrete-event engine's scheduling currency.
+///
+/// Built once per run from any [`OverlayDelays`] provider: each pair's
+/// float delay is rounded to µs exactly once here, so the event loop does
+/// pure integer arithmetic with no per-event `f64 ↔ u64` round-trips (and
+/// is therefore bit-deterministic by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayMicros {
+    n: usize,
+    us: Vec<u64>,
+}
+
+impl DelayMicros {
+    /// Rounds every pair of `delays` into µs. `n` is the overlay size.
+    pub fn from_delays<D: OverlayDelays + ?Sized>(delays: &D, n: usize) -> Self {
+        let mut us = vec![0u64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let ms = delays.delay_ms(NodeIdx(a as u32), NodeIdx(b as u32));
+                assert!(
+                    ms.is_finite() && ms >= 0.0,
+                    "overlay delay {a}->{b} must be finite and >= 0, got {ms}"
+                );
+                us[a * n + b] = (ms * 1000.0).round() as u64;
+            }
+        }
+        Self { n, us }
+    }
+
+    /// One-way delay between two overlay nodes, µs.
+    #[inline]
+    pub fn us(&self, a: NodeIdx, b: NodeIdx) -> u64 {
+        self.us[a.index() * self.n + b.index()]
     }
 
     /// Number of overlay nodes covered.
@@ -231,10 +275,7 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
     /// Returns the level the repository was placed at.
     pub fn join(&mut self, repo: usize) -> u32 {
         let q = NodeIdx::repo(repo);
-        assert!(
-            self.g.level(q).is_none(),
-            "repository {repo} already joined"
-        );
+        assert!(self.g.level(q).is_none(), "repository {repo} already joined");
         let wanted: Vec<(ItemId, Coherency)> = self.workload.items_of(repo).collect();
         assert!(!wanted.is_empty(), "repository {repo} has no data needs");
 
@@ -267,18 +308,13 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
     /// Chooses parents among `candidates` and wires all of `q`'s items.
     fn attach(&mut self, q: NodeIdx, wanted: &[(ItemId, Coherency)], candidates: &[NodeIdx]) {
         // Preference factors (smaller = more preferred).
-        let mut prefs: Vec<(NodeIdx, f64)> = candidates
-            .iter()
-            .map(|&p| (p, self.preference(p, q, wanted)))
-            .collect();
+        let mut prefs: Vec<(NodeIdx, f64)> =
+            candidates.iter().map(|&p| (p, self.preference(p, q, wanted))).collect();
         prefs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let min_pref = prefs[0].1;
         let band_limit = min_pref * (1.0 + self.cfg.pref_band_pct / 100.0);
-        let band: Vec<NodeIdx> = prefs
-            .iter()
-            .filter(|&&(_, f)| f <= band_limit)
-            .map(|&(p, _)| p)
-            .collect();
+        let band: Vec<NodeIdx> =
+            prefs.iter().filter(|&&(_, f)| f <= band_limit).map(|&(p, _)| p).collect();
         let most_preferred = band[0];
 
         // Assign each wanted item to the most preferred band member that
@@ -286,9 +322,7 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
         let mut assignment: Vec<(NodeIdx, ItemId, Coherency)> = Vec::with_capacity(wanted.len());
         for &(item, c) in wanted {
             let server = band.iter().copied().find(|&p| {
-                self.g
-                    .effective(p, item)
-                    .is_some_and(|pc| pc.at_least_as_stringent_as(c))
+                self.g.effective(p, item).is_some_and(|pc| pc.at_least_as_stringent_as(c))
             });
             let parent = server.unwrap_or(most_preferred);
             assignment.push((parent, item, c));
@@ -308,9 +342,7 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
                 let navail = wanted
                     .iter()
                     .filter(|&&(item, c)| {
-                        self.g
-                            .effective(p, item)
-                            .is_some_and(|pc| pc.at_least_as_stringent_as(c))
+                        self.g.effective(p, item).is_some_and(|pc| pc.at_least_as_stringent_as(c))
                     })
                     .count() as f64;
                 comm * (1.0 + ndeps) / (1.0 + navail)
@@ -342,10 +374,7 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
             }
             (None, None) => {
                 let parents = self.g.parents(node);
-                assert!(
-                    !parents.is_empty(),
-                    "{node} has no parents to augment through"
-                );
+                assert!(!parents.is_empty(), "{node} has no parents to augment through");
                 let parent = parents
                     .iter()
                     .copied()
@@ -481,17 +510,11 @@ mod tests {
         }
         let w = Workload::from_needs(needs);
         let delays = DelayMatrix::uniform(13, 25.0);
-        let cfg = LelaConfig {
-            join_order: JoinOrder::StringentFirst,
-            ..LelaConfig::new(2, 0)
-        };
+        let cfg = LelaConfig { join_order: JoinOrder::StringentFirst, ..LelaConfig::new(2, 0) };
         let g = build_d3g(&w, &delays, &cfg);
         g.validate(Some(2)).unwrap();
         let mean_level = |range: std::ops::Range<usize>| {
-            range
-                .clone()
-                .map(|r| g.level(NodeIdx::repo(r)).unwrap() as f64)
-                .sum::<f64>()
+            range.clone().map(|r| g.level(NodeIdx::repo(r)).unwrap() as f64).sum::<f64>()
                 / range.len() as f64
         };
         assert!(

@@ -356,12 +356,8 @@ mod tests {
 
     #[test]
     fn next_ttr_clamps_and_grows() {
-        let p = TtrPolicy::Adaptive {
-            ttr_min_ms: 100.0,
-            ttr_max_ms: 1_000.0,
-            alpha: 1.0,
-            growth: 2.0,
-        };
+        let p =
+            TtrPolicy::Adaptive { ttr_min_ms: 100.0, ttr_max_ms: 1_000.0, alpha: 1.0, growth: 2.0 };
         // No change observed → doubles, clamped at max.
         assert_eq!(p.next_ttr(600.0, 0.0, c(0.1)), 1_000.0);
         // Huge change → shrinks, clamped at min.

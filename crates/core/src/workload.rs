@@ -126,10 +126,7 @@ impl Workload {
 
     /// Items repository `repo` is interested in.
     pub fn items_of(&self, repo: usize) -> impl Iterator<Item = (ItemId, Coherency)> + '_ {
-        self.needs[repo]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.map(|c| (ItemId(i as u32), c)))
+        self.needs[repo].iter().enumerate().filter_map(|(i, c)| c.map(|c| (ItemId(i as u32), c)))
     }
 
     /// Repositories interested in `item`, as 0-based repository numbers.

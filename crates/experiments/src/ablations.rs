@@ -36,11 +36,7 @@ pub fn f_sensitivity(scale: &Scale) -> Figure {
     fig.push_series(Series::new("T=50, controlled", points));
     fig.note(format!(
         "degrees chosen: {} (paper: f >= 50 keeps fidelity high; variation ~1%)",
-        degrees
-            .iter()
-            .map(|(f, d)| format!("f={f}->{d}"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        degrees.iter().map(|(f, d)| format!("f={f}->{d}")).collect::<Vec<_>>().join(", ")
     ));
     fig
 }

@@ -44,10 +44,7 @@ pub fn fig3(scale: &Scale) -> Figure {
     ));
     if let Some(s) = fig.series_named("T=100") {
         if let Some(x) = s.argmin_x() {
-            fig.note(format!(
-                "T=100 minimum at degree {} (paper: between 3 and 20)",
-                x as i64
-            ));
+            fig.note(format!("T=100 minimum at degree {} (paper: between 3 and 20)", x as i64));
         }
     }
     fig

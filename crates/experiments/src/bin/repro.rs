@@ -5,30 +5,77 @@
 //! repro fig3 fig11                # a subset
 //! repro all --paper               # the full 10 000-tick horizon
 //! repro fig3 --ticks 1000         # custom horizon
+//! repro all --serial              # disable the parallel fan-out
 //! repro list                      # enumerate experiment ids
 //! ```
+//!
+//! Requested experiments fan out over the parallel sweep runner
+//! (`d3t_experiments::sweep`): each id renders independently on a worker
+//! thread and results print in request order, byte-identical to a serial
+//! run (every experiment derives its randomness from its own seeded
+//! config). `RAYON_NUM_THREADS` bounds the worker count.
 
 use std::time::Instant;
 
 use d3t_experiments::{
     ablations, baseline, controlled, filtering, lela_params, nocoop, protocols, pullpush,
-    scalability, table1, Scale,
+    scalability, sweep, table1, Scale,
 };
 
 const IDS: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9",
-    "fig10", "fig11", "scale", "ablate-f", "ablate-join", "ablate-protocols", "ext-pull",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "scale",
+    "ablate-f",
+    "ablate-join",
+    "ablate-protocols",
+    "ext-pull",
 ];
+
+fn render(id: &str, scale: &Scale) -> String {
+    match id {
+        "table1" => table1::table1(scale.n_ticks, scale.seed),
+        "fig3" => baseline::fig3(scale).render(),
+        "fig4" => protocols::fig4(),
+        "fig5" => nocoop::fig5(scale).render(),
+        "fig6" => nocoop::fig6(scale).render(),
+        "fig7a" => controlled::fig7a(scale).render(),
+        "fig7b" => controlled::fig7b(scale).render(),
+        "fig7c" => controlled::fig7c(scale).render(),
+        "fig8" => filtering::fig8(scale).render(),
+        "fig9" => lela_params::fig9(scale).render(),
+        "fig10" => lela_params::fig10(scale).render(),
+        "fig11" => protocols::fig11(scale).render(),
+        "scale" => scalability::scale_study(scale).render(),
+        "ablate-f" => ablations::f_sensitivity(scale).render(),
+        "ablate-join" => ablations::join_order_study(scale).render(),
+        "ablate-protocols" => ablations::protocol_fidelity(scale).render(),
+        "ext-pull" => pullpush::pull_vs_push(scale).render(),
+        _ => unreachable!("id list is closed"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
+    let mut serial = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--paper" => scale = Scale::paper(),
             "--tiny" => scale = Scale::tiny(),
+            "--serial" => serial = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -60,29 +107,23 @@ fn main() {
         "# d3t reproduction — {} repositories, {} items, {} ticks, seed {:#x}\n",
         scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
     );
-    for id in &wanted {
+    let total = Instant::now();
+    let run_one = |id: String| {
         let start = Instant::now();
-        let rendered = match id.as_str() {
-            "table1" => table1::table1(scale.n_ticks, scale.seed),
-            "fig3" => baseline::fig3(&scale).render(),
-            "fig4" => protocols::fig4(),
-            "fig5" => nocoop::fig5(&scale).render(),
-            "fig6" => nocoop::fig6(&scale).render(),
-            "fig7a" => controlled::fig7a(&scale).render(),
-            "fig7b" => controlled::fig7b(&scale).render(),
-            "fig7c" => controlled::fig7c(&scale).render(),
-            "fig8" => filtering::fig8(&scale).render(),
-            "fig9" => lela_params::fig9(&scale).render(),
-            "fig10" => lela_params::fig10(&scale).render(),
-            "fig11" => protocols::fig11(&scale).render(),
-            "scale" => scalability::scale_study(&scale).render(),
-            "ablate-f" => ablations::f_sensitivity(&scale).render(),
-            "ablate-join" => ablations::join_order_study(&scale).render(),
-            "ablate-protocols" => ablations::protocol_fidelity(&scale).render(),
-            "ext-pull" => pullpush::pull_vs_push(&scale).render(),
-            _ => unreachable!("id list is closed"),
-        };
+        let rendered = render(&id, &scale);
+        (id, rendered, start.elapsed().as_secs_f64())
+    };
+    let results: Vec<(String, String, f64)> = if serial {
+        wanted.into_iter().map(run_one).collect()
+    } else {
+        sweep::par_map(wanted, run_one)
+    };
+    // Parallel timings overlap on shared cores, so per-id numbers are
+    // upper bounds; `--serial` gives uncontended measurements.
+    let qualifier = if serial { "" } else { ", concurrent" };
+    for (id, rendered, secs) in results {
         println!("{rendered}");
-        println!("  [{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!("  [{id} took {secs:.1}s{qualifier}]\n");
     }
+    println!("# wall clock: {:.1}s", total.elapsed().as_secs_f64());
 }

@@ -92,7 +92,9 @@ pub fn fig7c(scale: &Scale) -> Figure {
         }
         fig.push_series(Series::new(format!("T={}", t as i64), points));
     }
-    fig.note("larger computational delays induce smaller degrees, keeping the loss flat (paper 7c)");
+    fig.note(
+        "larger computational delays induce smaller degrees, keeping the loss flat (paper 7c)",
+    );
     fig
 }
 

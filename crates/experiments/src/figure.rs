@@ -32,10 +32,7 @@ impl Series {
 
     /// The `x` whose `y` is minimal (`None` when empty).
     pub fn argmin_x(&self) -> Option<f64> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(x, _)| x)
+        self.points.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|&(x, _)| x)
     }
 }
 
@@ -98,11 +95,8 @@ impl Figure {
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         let _ = writeln!(out, "   ({})", self.y_label);
         // Collect the x grid in order of first appearance (sorted).
-        let mut xs: Vec<f64> = self
-            .series
-            .iter()
-            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-            .collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let xw = self.x_label.len().max(10);

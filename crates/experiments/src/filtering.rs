@@ -24,7 +24,8 @@ pub fn fig8(scale: &Scale) -> Figure {
     );
     let mut flood_msgs = 0u64;
     let mut filtered_msgs = 0u64;
-    for (label, protocol) in [("All updates", Protocol::FloodAll), ("Filtered", Protocol::Distributed)]
+    for (label, protocol) in
+        [("All updates", Protocol::FloodAll), ("Filtered", Protocol::Distributed)]
     {
         let mut points = Vec::new();
         for &d in &scale.degree_grid() {

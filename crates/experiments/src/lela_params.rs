@@ -38,11 +38,8 @@ pub fn fig9(scale: &Scale) -> Figure {
             cfg.controlled = controlled;
             points.push((d as f64, d3t_sim::run(&cfg).loss_pct()));
         }
-        let label = if controlled {
-            format!("P={}W", band as i64)
-        } else {
-            format!("P={}", band as i64)
-        };
+        let label =
+            if controlled { format!("P={}W", band as i64) } else { format!("P={}", band as i64) };
         fig.push_series(Series::new(label, points));
     }
     let spread = controlled_spread(&fig);
@@ -89,8 +86,7 @@ pub fn fig10(scale: &Scale) -> Figure {
 
 /// Max pairwise gap between the controlled (`…W`) series, point-wise.
 fn controlled_spread(fig: &Figure) -> f64 {
-    let controlled: Vec<&Series> =
-        fig.series.iter().filter(|s| s.label.ends_with('W')).collect();
+    let controlled: Vec<&Series> = fig.series.iter().filter(|s| s.label.ends_with('W')).collect();
     let mut spread = 0.0f64;
     if let Some(first) = controlled.first() {
         for &(x, _) in &first.points {

@@ -27,6 +27,11 @@
 //! | footnote 1 | [`ablations::f_sensitivity`] | Eq. (2) constant `f` |
 //! | §5 claim | [`ablations::join_order_study`] | stringent-first placement |
 //! | §8 extension | [`pullpush::pull_vs_push`] | push vs (adaptive) pull vs push-pull |
+//!
+//! Independent experiment cells fan out over the parallel [`sweep`]
+//! runner; results are byte-identical to serial execution regardless of
+//! thread count (`repro --serial` forces the serial path,
+//! `RAYON_NUM_THREADS` bounds the pool).
 
 pub mod ablations;
 pub mod baseline;
@@ -39,6 +44,7 @@ pub mod protocols;
 pub mod pullpush;
 pub mod scalability;
 pub mod scale;
+pub mod sweep;
 pub mod table1;
 
 pub use figure::{Figure, Series};

@@ -71,8 +71,7 @@ pub fn pull_vs_push(scale: &Scale) -> Figure {
         (
             "push-pull",
             Box::new(move |t, c| {
-                let pp =
-                    PushPull { pull: TtrPolicy::adaptive_default(), switch_loss_pct: 1.0 };
+                let pp = PushPull { pull: TtrPolicy::adaptive_default(), switch_loss_pct: 1.0 };
                 let o = pp.evaluate(t, c, rtt_ms);
                 (o.loss_pct, o.cost)
             }),

@@ -6,6 +6,7 @@
 
 use crate::figure::{Figure, Series};
 use crate::scale::Scale;
+use crate::sweep;
 
 /// Repository counts examined (the paper quotes the 100 and 300 points).
 pub const REPO_GRID: [usize; 3] = [100, 200, 300];
@@ -13,6 +14,9 @@ pub const REPO_GRID: [usize; 3] = [100, 200, 300];
 /// Runs the scalability study at `T = 50%` with controlled cooperation.
 ///
 /// The physical network keeps the paper's 1:7 repository-to-node ratio.
+/// The grid cells fan out over the parallel [`sweep`] runner — they are
+/// the most expensive cells in the whole reproduction (up to 2100-node
+/// networks), and results are identical to the serial path.
 pub fn scale_study(scale: &Scale) -> Figure {
     let mut fig = Figure::new(
         "scale",
@@ -21,20 +25,29 @@ pub fn scale_study(scale: &Scale) -> Figure {
         "loss of fidelity, %",
     );
     let ratio = (scale.n_network_nodes as f64 / scale.n_repos as f64).max(2.0);
-    let mut points = Vec::new();
-    for &n_repos in &REPO_GRID {
+    let repo_counts: Vec<usize> = REPO_GRID
+        .iter()
         // Keep the workload scale consistent with the preset (tiny scale
         // shrinks repository counts proportionally).
-        let n_repos = (n_repos * scale.n_repos / 100).max(4);
-        let mut cfg = scale.base_config();
-        cfg.n_repos = n_repos;
-        cfg.network.n_repositories = n_repos;
-        cfg.network.n_nodes = (n_repos as f64 * ratio) as usize;
-        cfg.coop_res = n_repos.min(100);
-        cfg.controlled = true;
-        let r = d3t_sim::run(&cfg);
-        points.push((n_repos as f64, r.loss_pct()));
-    }
+        .map(|&n| (n * scale.n_repos / 100).max(4))
+        .collect();
+    let cells: Vec<_> = repo_counts
+        .iter()
+        .map(|&n_repos| {
+            let mut cfg = scale.base_config();
+            cfg.n_repos = n_repos;
+            cfg.network.n_repositories = n_repos;
+            cfg.network.n_nodes = (n_repos as f64 * ratio) as usize;
+            cfg.coop_res = n_repos.min(100);
+            cfg.controlled = true;
+            cfg
+        })
+        .collect();
+    let points: Vec<(f64, f64)> = repo_counts
+        .iter()
+        .zip(sweep::run_cells(&cells))
+        .map(|(&n_repos, r)| (n_repos as f64, r.loss_pct()))
+        .collect();
     let first = points.first().map(|&(_, y)| y).unwrap_or(0.0);
     let last = points.last().map(|&(_, y)| y).unwrap_or(0.0);
     fig.push_series(Series::new("T=50, controlled", points));

@@ -66,10 +66,7 @@ impl Scale {
     /// A sparser degree grid for the parameter-sensitivity figures
     /// (9 and 10), which multiply series count by configurations.
     pub fn degree_grid_sparse(&self) -> Vec<usize> {
-        [1usize, 2, 4, 8, 16, 32, 64, 100]
-            .into_iter()
-            .filter(|&d| d <= self.n_repos)
-            .collect()
+        [1usize, 2, 4, 8, 16, 32, 64, 100].into_iter().filter(|&d| d <= self.n_repos).collect()
     }
 
     /// The paper's `T` grid (Figures 3, 5, 6, 7).

@@ -1,0 +1,99 @@
+//! The parallel sweep runner: fan independent experiment cells out over a
+//! thread pool.
+//!
+//! Every figure/table of the paper is a sweep over a grid of
+//! [`SimConfig`] cells (degrees of cooperation × `T` values, delay
+//! grids, repository counts, …). Each cell derives all of its randomness
+//! from its own config via [`SimConfig::sub_seed`], and a run touches no
+//! shared mutable state, so cells are **embarrassingly parallel** — and
+//! because [`run_cells`] writes each result into the slot of its input
+//! index, the output is *byte-identical* to the serial path regardless of
+//! thread count or completion order.
+//!
+//! `RAYON_NUM_THREADS` bounds the worker count (unset/0 → all cores).
+
+use d3t_sim::{RunReport, SimConfig};
+use rayon::prelude::*;
+
+/// Runs every cell, in parallel, preserving input order.
+///
+/// Equivalent to `cfgs.iter().map(d3t_sim::run).collect()` — verified
+/// bit-for-bit by the determinism tests below — but wall-clock scales
+/// with available cores.
+pub fn run_cells(cfgs: &[SimConfig]) -> Vec<RunReport> {
+    cfgs.par_iter().map(d3t_sim::run).collect()
+}
+
+/// The serial reference path (kept public so tests and benchmarks can
+/// compare against it).
+pub fn run_cells_serial(cfgs: &[SimConfig]) -> Vec<RunReport> {
+    cfgs.iter().map(d3t_sim::run).collect()
+}
+
+/// Generic parallel map with order-preserving output, for sweeps whose
+/// cells are not plain `SimConfig`s (e.g. whole-figure fan-out in the
+/// `repro` binary). The closure must be a pure function of its item for
+/// the parallel/serial equivalence to hold.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    items.into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3t_sim::TreeStrategy;
+
+    fn grid() -> Vec<SimConfig> {
+        let mut cells = Vec::new();
+        for degree in [1usize, 2, 4] {
+            for t in [0.0, 50.0] {
+                let mut cfg = SimConfig::small_for_tests(8, 4, 200, t);
+                cfg.coop_res = degree;
+                cells.push(cfg);
+            }
+        }
+        // One structurally different cell so the sweep is heterogeneous.
+        let mut flat = SimConfig::small_for_tests(6, 3, 150, 50.0);
+        flat.tree = TreeStrategy::Flat;
+        cells.push(flat);
+        cells
+    }
+
+    /// The headline guarantee: the parallel runner's output equals the
+    /// serial runner's, cell for cell, bit for bit.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let cells = grid();
+        let par = run_cells(&cells);
+        let ser = run_cells_serial(&cells);
+        assert_eq!(par.len(), ser.len());
+        for (i, (p, s)) in par.iter().zip(&ser).enumerate() {
+            assert_eq!(p, s, "cell {i} diverged");
+            // PartialEq covers every field, but also pin the formatted
+            // representation so float bit-pattern changes cannot hide.
+            assert_eq!(format!("{p:?}"), format!("{s:?}"), "cell {i} repr diverged");
+        }
+    }
+
+    /// Forcing any pool width must not change results either.
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let cells: Vec<SimConfig> = grid().into_iter().take(3).collect();
+        let baseline = run_cells(&cells);
+        for width in [1usize, 2, 5] {
+            let pinned = rayon::with_num_threads(width, || run_cells(&cells));
+            assert_eq!(baseline, pinned, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<usize>>(), |x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+}

@@ -47,8 +47,7 @@ pub fn table1(n_ticks: usize, seed: u64) -> String {
     // Also summarize the 100-item evaluation ensemble the figures use.
     let cfg = EnsembleConfig { n_ticks, ..EnsembleConfig::default() };
     let traces = d3t_traces::generate_ensemble(&cfg, seed);
-    let mean_range =
-        traces.iter().map(|t| t.stats().range()).sum::<f64>() / traces.len() as f64;
+    let mean_range = traces.iter().map(|t| t.stats().range()).sum::<f64>() / traces.len() as f64;
     let mean_changes =
         traces.iter().map(|t| t.stats().n_changes as f64).sum::<f64>() / traces.len() as f64;
     let _ = writeln!(

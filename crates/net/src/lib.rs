@@ -7,10 +7,13 @@
 //! Pareto distribution (minimum 2 ms), averaging 20–30 ms end to end over
 //! ~10 hops. This crate rebuilds that substrate:
 //!
-//! * [`topology`] — connected random graphs (spanning tree + extra edges);
+//! * [`topology`] — connected random graphs (spanning tree + extra edges)
+//!   with a CSR adjacency view ([`topology::Csr`]) for traversal;
 //! * [`pareto`] — the bounded Pareto link-delay sampler;
-//! * [`apsp`] — Floyd–Warshall over link delays, yielding per-pair delay
-//!   and hop counts (with a Dijkstra cross-check used by the tests);
+//! * [`apsp`] — the overlay-targeted shortest-path engine
+//!   ([`apsp::OverlayApsp`]: parallel per-source Dijkstra over CSR,
+//!   computing only the rows the overlay queries), with Floyd–Warshall
+//!   kept as the property-test oracle;
 //! * [`placement`] — choosing which nodes are the source, repositories,
 //!   and routers;
 //! * [`network`] — the assembled [`network::PhysicalNetwork`] facade the
@@ -31,6 +34,7 @@ pub mod pareto;
 pub mod placement;
 pub mod topology;
 
+pub use apsp::OverlayApsp;
 pub use network::{NetworkConfig, PhysicalNetwork};
 pub use pareto::Pareto;
-pub use topology::{NodeId, Topology};
+pub use topology::{Csr, NodeId, Topology};

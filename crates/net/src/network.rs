@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use crate::apsp::OverlayApsp;
 use crate::pareto::Pareto;
 use crate::placement::Placement;
 use crate::topology::{NodeId, Topology};
@@ -31,10 +32,10 @@ pub struct NetworkConfig {
     pub avg_degree: f64,
     /// Minimum per-link delay in milliseconds (paper: 2 ms).
     pub link_delay_min_ms: f64,
-    /// Mean per-link delay in milliseconds. The default of 2.5 ms over
-    /// ~10-hop paths produces the paper's 20–30 ms average end-to-end
-    /// delay; see DESIGN.md §4 for the decoding of the paper's Pareto
-    /// parameters.
+    /// Mean per-link delay in milliseconds. Uniform random graphs at
+    /// average degree 3 have ~6-hop mean paths (`ln V / ln d̄`), so the
+    /// default of 4.0 ms calibrates the overlay's mean end-to-end delay
+    /// into the paper's stated 20–30 ms band.
     pub link_delay_mean_ms: f64,
     /// Cap on a single link's delay (keeps one pathological Pareto draw
     /// from dominating the topology).
@@ -50,7 +51,7 @@ impl Default for NetworkConfig {
             n_repositories: 100,
             avg_degree: 3.0,
             link_delay_min_ms: 2.0,
-            link_delay_mean_ms: 2.5,
+            link_delay_mean_ms: 4.0,
             link_delay_cap_ms: 60.0,
         }
     }
@@ -105,23 +106,18 @@ impl PhysicalNetwork {
 
     /// Builds the overlay matrices from an explicit topology + placement
     /// (used by tests that need hand-crafted networks).
+    ///
+    /// Delegates to [`OverlayApsp`]: one Dijkstra per overlay node over a
+    /// CSR view of the graph, fanned out across threads, instead of the
+    /// paper's full `O(V³)` Floyd–Warshall routing tables.
     pub fn from_parts(topo: &Topology, placement: Placement) -> Self {
         assert!(topo.is_connected(), "physical network must be connected");
-        let overlay = placement.overlay_nodes();
-        let m = overlay.len();
         let mut overlay_index = vec![usize::MAX; topo.n_nodes()];
-        for (i, &node) in overlay.iter().enumerate() {
+        for (i, &node) in placement.overlay_nodes().iter().enumerate() {
             overlay_index[node] = i;
         }
-        let mut delay = vec![f64::INFINITY; m * m];
-        let mut hops = vec![u32::MAX; m * m];
-        for (i, &src) in overlay.iter().enumerate() {
-            let (dist, hop) = dijkstra_with_hops(topo, src);
-            for (j, &dst) in overlay.iter().enumerate() {
-                delay[i * m + j] = dist[dst];
-                hops[i * m + j] = hop[dst];
-            }
-        }
+        let apsp = OverlayApsp::compute(topo, &placement.overlay_nodes());
+        let (overlay, delay, hops) = apsp.into_parts();
         Self {
             placement,
             overlay,
@@ -234,59 +230,6 @@ impl PhysicalNetwork {
     }
 }
 
-/// Dijkstra over link delays that also records the hop count along each
-/// shortest-delay path (ties broken toward fewer hops for determinism).
-fn dijkstra_with_hops(topo: &Topology, src: NodeId) -> (Vec<f64>, Vec<u32>) {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    #[derive(PartialEq)]
-    struct Entry {
-        dist: f64,
-        hops: u32,
-        node: NodeId,
-    }
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .dist
-                .partial_cmp(&self.dist)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| other.hops.cmp(&self.hops))
-                .then_with(|| other.node.cmp(&self.node))
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    let n = topo.n_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut hops = vec![u32::MAX; n];
-    dist[src] = 0.0;
-    hops[src] = 0;
-    let mut heap = BinaryHeap::new();
-    heap.push(Entry { dist: 0.0, hops: 0, node: src });
-    while let Some(Entry { dist: d, hops: h, node: u }) = heap.pop() {
-        if d > dist[u] || (d == dist[u] && h > hops[u]) {
-            continue;
-        }
-        for &(v, li) in topo.neighbors(u) {
-            let alt = d + topo.links()[li].delay_ms;
-            let alt_h = h + 1;
-            if alt < dist[v] || (alt == dist[v] && alt_h < hops[v]) {
-                dist[v] = alt;
-                hops[v] = alt_h;
-                heap.push(Entry { dist: alt, hops: alt_h, node: v });
-            }
-        }
-    }
-    (dist, hops)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,9 +304,7 @@ mod tests {
     #[should_panic(expected = "not an overlay node")]
     fn querying_router_delay_panics() {
         let net = PhysicalNetwork::generate(&NetworkConfig::small(50, 5), 4);
-        let router = (0..50).find(|n| {
-            *n != net.source() && !net.repositories().contains(n)
-        });
+        let router = (0..50).find(|n| *n != net.source() && !net.repositories().contains(n));
         net.delay_ms(net.source(), router.unwrap());
     }
 }

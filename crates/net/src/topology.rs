@@ -145,6 +145,12 @@ impl Topology {
         count == self.n_nodes
     }
 
+    /// Builds a compressed-sparse-row view of the graph for cache-friendly
+    /// traversal (the shortest-path hot loop).
+    pub fn csr(&self) -> Csr {
+        Csr::from_topology(self)
+    }
+
     /// Multiplies every link delay by `factor` — used to sweep average
     /// communication delay while keeping the topology fixed (Figures 5
     /// and 7b of the paper).
@@ -153,6 +159,64 @@ impl Topology {
         for l in &mut self.links {
             l.delay_ms *= factor;
         }
+    }
+}
+
+/// Compressed-sparse-row adjacency: all neighbor lists in two flat arrays,
+/// indexed by a per-node offset table. Traversing a node's neighborhood is
+/// one contiguous scan instead of a pointer chase through per-node `Vec`s,
+/// which is what the multi-source Dijkstra in [`crate::apsp`] spends its
+/// time doing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of the arrays.
+    offsets: Vec<u32>,
+    /// Neighbor node ids, grouped by origin node.
+    targets: Vec<u32>,
+    /// Delay of the link to the corresponding target, ms.
+    weights_ms: Vec<f64>,
+}
+
+impl Csr {
+    /// Flattens a topology's adjacency lists (two entries per undirected
+    /// link).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let n = topo.n_nodes();
+        assert!(n < u32::MAX as usize, "topology too large for u32 CSR indices");
+        assert!(
+            topo.links().len() * 2 < u32::MAX as usize,
+            "topology has too many links for u32 CSR offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(topo.links().len() * 2);
+        let mut weights_ms = Vec::with_capacity(topo.links().len() * 2);
+        offsets.push(0u32);
+        for u in 0..n {
+            for &(v, li) in topo.neighbors(u) {
+                targets.push(v as u32);
+                weights_ms.push(topo.links()[li].delay_ms);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self { offsets, targets, weights_ms }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the link count).
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `(neighbor, delay_ms)` pairs of `node`, as parallel slices.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> (&[u32], &[f64]) {
+        let start = self.offsets[node] as usize;
+        let end = self.offsets[node + 1] as usize;
+        (&self.targets[start..end], &self.weights_ms[start..end])
     }
 }
 
@@ -216,5 +280,22 @@ mod tests {
         let t = Topology::random(2, 2.0, 0, fixed_delay);
         assert!(t.is_connected());
         assert!(!t.links().is_empty());
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_lists() {
+        let t = Topology::random(120, 3.5, 21, |rng| rng.gen_range(1.0..9.0));
+        let csr = t.csr();
+        assert_eq!(csr.n_nodes(), t.n_nodes());
+        assert_eq!(csr.n_edges(), t.links().len() * 2);
+        for u in 0..t.n_nodes() {
+            let (targets, weights) = csr.neighbors(u);
+            let adj = t.neighbors(u);
+            assert_eq!(targets.len(), adj.len());
+            for ((&v, &w), &(av, ali)) in targets.iter().zip(weights).zip(adj) {
+                assert_eq!(v as usize, av);
+                assert_eq!(w, t.links()[ali].delay_ms);
+            }
+        }
     }
 }

@@ -3,24 +3,48 @@
 //! # Cost model
 //!
 //! * **Communication**: a message from node `a` to node `b` arrives
-//!   `delay(a, b)` ms after it leaves `a`'s CPU (the physical network's
+//!   `delay(a, b)` after it leaves `a`'s CPU (the physical network's
 //!   shortest-path delay between the two overlay nodes).
 //! * **Computation**: each node is a serial processor. Forwarding one
-//!   update to one dependent occupies the CPU for `comp_delay_ms`
-//!   (the paper's 12.5 ms: "the time to perform any checks ... and the
-//!   time to prepare an update for transmission"). Filter evaluations that
-//!   do *not* result in a transmission are counted (the "checks" metric of
-//!   Figure 11) but take negligible time — this matches the paper's
-//!   observation that unfiltered dissemination, not filtering itself, is
-//!   what saturates nodes (Figures 5, 6, 8), and its Eq.-2 assumption that
-//!   only the interested fraction of dependents contributes to the
-//!   effective computational delay.
+//!   update to one dependent occupies the CPU for the configured
+//!   computational delay (the paper's 12.5 ms: "the time to perform any
+//!   checks ... and the time to prepare an update for transmission").
+//!   Filter evaluations that do *not* result in a transmission are counted
+//!   (the "checks" metric of Figure 11) but take negligible time — this
+//!   matches the paper's observation that unfiltered dissemination, not
+//!   filtering itself, is what saturates nodes (Figures 5, 6, 8), and its
+//!   Eq.-2 assumption that only the interested fraction of dependents
+//!   contributes to the effective computational delay.
 //! * A node's CPU work is FIFO: an update arriving while the CPU is busy
 //!   starts processing when the CPU frees up (this queueing is the
 //!   mechanism behind the U-curve's rising half).
 //!
-//! Events are ordered by (time, sequence number); ties resolve in creation
-//! order, making every run bit-deterministic.
+//! # Performance model
+//!
+//! The engine runs on an **integer-microsecond timebase end to end**:
+//!
+//! * All float inputs are converted to `u64` µs exactly once, at
+//!   construction — the overlay delay matrix is flattened into a
+//!   [`DelayMicros`] (one rounding per node pair), the per-dependent
+//!   computational delay into a single `u64`, and each source change's
+//!   millisecond timestamp into `at_ms * 1000`.
+//! * From then on the hot loop — heap pops, CPU-queue accounting
+//!   (`busy_until_us`), arrival scheduling, and horizon checks — is pure
+//!   `u64` arithmetic. There are no per-event `f64 ↔ u64` round-trips, so
+//!   nothing in the event loop can accumulate rounding error, and runs are
+//!   **bit-deterministic by construction** rather than by numerical
+//!   accident.
+//! * Fidelity accounting ([`FidelityTracker`]) shares the same µs
+//!   currency: violation intervals are summed in integer µs and divided
+//!   into a percentage only when the report is produced.
+//! * Events are ordered by `(time_us, sequence number)`; ties resolve in
+//!   creation order. The heap is a binary heap over `Reverse<Event>`;
+//!   event records are small `Copy` structs, so a pop/push pair touches
+//!   two cache lines of heap storage plus the delay-matrix row of the
+//!   sending node.
+//!
+//! Per-event cost is O(log pending) comparisons of `u64` pairs; experiment
+//! setup cost lives in [`crate::prepared`], not here.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,7 +53,7 @@ use d3t_core::dissemination::{Disseminator, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
 use d3t_core::graph::D3g;
 use d3t_core::item::ItemId;
-use d3t_core::lela::OverlayDelays;
+use d3t_core::lela::{DelayMicros, OverlayDelays};
 use d3t_core::overlay::NodeIdx;
 use d3t_core::workload::Workload;
 
@@ -67,50 +91,58 @@ impl PartialOrd for Event {
     }
 }
 
-fn ms_to_us(ms: f64) -> u64 {
+/// Rounds a millisecond duration to integer microseconds (used only at
+/// construction time; the event loop never converts).
+pub fn ms_to_us(ms: f64) -> u64 {
     (ms * 1000.0).round() as u64
 }
 
 /// The assembled simulator, ready to run one dissemination experiment.
-pub struct Engine<'a, D: OverlayDelays> {
+pub struct Engine<'a> {
     d3g: &'a D3g,
-    delays: &'a D,
-    comp_delay_ms: f64,
+    /// Flat µs overlay delay matrix (one float→int rounding per pair,
+    /// done at construction).
+    delays_us: DelayMicros,
+    /// Per-dependent CPU occupancy, µs.
+    comp_delay_us: u64,
     disseminator: Disseminator,
     fidelity: FidelityTracker,
     metrics: Metrics,
-    /// Per-node CPU availability, in ms.
-    busy_until_ms: Vec<f64>,
+    /// Per-node CPU availability, µs.
+    busy_until_us: Vec<u64>,
     heap: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
-    /// Observation horizon, ms.
-    end_ms: f64,
+    /// Observation horizon, µs.
+    end_us: u64,
 }
 
-impl<'a, D: OverlayDelays> Engine<'a, D> {
+impl<'a> Engine<'a> {
     /// Builds an engine over a constructed d3g.
     ///
     /// * `workload` — the *user* needs (fidelity is measured against
     ///   these, not against LeLA-augmented requirements);
+    /// * `delays` — overlay delay provider, flattened once into µs;
     /// * `changes` — the merged, time-sorted source change stream;
     /// * `initial_values[item]` — the value every node starts coherent at;
-    /// * `end_ms` — the observation horizon (normally the trace duration).
+    /// * `comp_delay_ms` — per-dependent CPU time (converted once to µs);
+    /// * `end_us` — the observation horizon in µs (normally the trace
+    ///   duration).
     #[allow(clippy::too_many_arguments)] // one parameter per §6.1 experiment input
-    pub fn new(
+    pub fn new<D: OverlayDelays>(
         d3g: &'a D3g,
         workload: &Workload,
-        delays: &'a D,
+        delays: &D,
         disseminator: Disseminator,
         changes: &[SourceChange],
         initial_values: &[f64],
         comp_delay_ms: f64,
-        end_ms: f64,
+        end_us: u64,
     ) -> Self {
         assert!(comp_delay_ms >= 0.0, "computational delay must be >= 0");
         let mut heap = BinaryHeap::with_capacity(changes.len() * 2);
         let mut next_seq = 0u64;
         for &(at_ms, item, value) in changes {
-            debug_assert!(at_ms as f64 <= end_ms, "change beyond horizon");
+            debug_assert!(at_ms * 1000 <= end_us, "change beyond horizon");
             heap.push(Reverse(Event {
                 at_us: at_ms * 1000,
                 seq: next_seq,
@@ -120,15 +152,15 @@ impl<'a, D: OverlayDelays> Engine<'a, D> {
         }
         Self {
             d3g,
-            delays,
-            comp_delay_ms,
+            delays_us: DelayMicros::from_delays(delays, d3g.n_nodes()),
+            comp_delay_us: ms_to_us(comp_delay_ms),
             disseminator,
-            fidelity: FidelityTracker::new(workload, initial_values, 0.0),
+            fidelity: FidelityTracker::new(workload, initial_values, 0),
             metrics: Metrics::default(),
-            busy_until_ms: vec![0.0; d3g.n_nodes()],
+            busy_until_us: vec![0u64; d3g.n_nodes()],
             heap,
             next_seq,
-            end_ms,
+            end_us,
         }
     }
 
@@ -136,48 +168,48 @@ impl<'a, D: OverlayDelays> Engine<'a, D> {
     /// counters.
     pub fn run(mut self) -> (FidelityReport, Metrics) {
         while let Some(Reverse(ev)) = self.heap.pop() {
-            let t_ms = ev.at_us as f64 / 1000.0;
             match ev.kind {
                 EventKind::SourceChange { item, value } => {
                     self.metrics.source_updates += 1;
-                    self.fidelity.source_update(t_ms, item, value);
+                    self.fidelity.source_update(ev.at_us, item, value);
                     let fwd = self.disseminator.on_source_update(self.d3g, item, value);
                     self.metrics.source_checks += fwd.checks;
-                    self.transmit(d3t_core::overlay::SOURCE, t_ms, fwd.update, &fwd.to);
+                    self.transmit(d3t_core::overlay::SOURCE, ev.at_us, fwd.update, &fwd.to);
                 }
                 EventKind::Arrival { node, update } => {
-                    self.fidelity.repo_update(t_ms, node, update.item, update.value);
+                    self.fidelity.repo_update(ev.at_us, node, update.item, update.value);
                     let fwd = self.disseminator.on_repo_update(self.d3g, node, update);
                     self.metrics.repo_checks += fwd.checks;
-                    self.transmit(node, t_ms, fwd.update, &fwd.to);
+                    self.transmit(node, ev.at_us, fwd.update, &fwd.to);
                 }
             }
         }
-        (self.fidelity.finish(self.end_ms), self.metrics)
+        (self.fidelity.finish(self.end_us), self.metrics)
     }
 
     /// Serially prepares and sends `update` from `node` to each recipient.
-    fn transmit(&mut self, node: NodeIdx, now_ms: f64, update: Update, to: &[NodeIdx]) {
+    /// Pure integer arithmetic: CPU queueing, link delay, horizon check.
+    fn transmit(&mut self, node: NodeIdx, now_us: u64, update: Update, to: &[NodeIdx]) {
         if to.is_empty() {
             return;
         }
-        let mut cpu = self.busy_until_ms[node.index()].max(now_ms);
+        let mut cpu = self.busy_until_us[node.index()].max(now_us);
         for &child in to {
-            cpu += self.comp_delay_ms;
+            cpu += self.comp_delay_us;
             self.metrics.messages += 1;
-            let arrival_ms = cpu + self.delays.delay_ms(node, child);
-            if arrival_ms > self.end_ms {
+            let arrival_us = cpu + self.delays_us.us(node, child);
+            if arrival_us > self.end_us {
                 self.metrics.undelivered += 1;
                 continue;
             }
             self.heap.push(Reverse(Event {
-                at_us: ms_to_us(arrival_ms),
+                at_us: arrival_us,
                 seq: self.next_seq,
                 kind: EventKind::Arrival { node: child, update },
             }));
             self.next_seq += 1;
         }
-        self.busy_until_ms[node.index()] = cpu;
+        self.busy_until_us[node.index()] = cpu;
     }
 }
 
@@ -210,7 +242,7 @@ mod tests {
         let (g, w) = tiny();
         let delays = DelayMatrix::uniform(2, comm_ms);
         let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
-        Engine::new(&g, &w, &delays, d, changes, &[1.0], comp_ms, end_ms).run()
+        Engine::new(&g, &w, &delays, d, changes, &[1.0], comp_ms, ms_to_us(end_ms)).run()
     }
 
     #[test]
@@ -220,7 +252,7 @@ mod tests {
         let delays = DelayMatrix::uniform(2, 0.0);
         let (g, w) = tiny();
         let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
-        let (rep, m) = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 0.0, 10_000.0).run();
+        let (rep, m) = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 0.0, 10_000_000).run();
         assert_eq!(rep.loss_pct, 0.0);
         assert!(m.messages > 0);
     }
@@ -275,5 +307,19 @@ mod tests {
         let b = run_tiny(&changes, 25.0, 12.5, 10_000.0);
         assert_eq!(a.0.loss_pct, b.0.loss_pct);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn sub_microsecond_delays_round_once_at_construction() {
+        // 0.0004 ms rounds to 0 µs; 0.0006 ms rounds to 1 µs. The engine
+        // must schedule with the rounded values, not re-round per event.
+        let (g, w) = tiny();
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let delays = DelayMatrix::uniform(2, 0.0006);
+        let changes = [(1000u64, ItemId(0), 2.0)];
+        let (rep, _) = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 0.0, 2_000_000).run();
+        // Violation lasts exactly 1 µs of the 2 s window.
+        let expected = 1.0 / 2_000_000.0 * 100.0;
+        assert!((rep.loss_pct - expected).abs() < 1e-9, "loss {}", rep.loss_pct);
     }
 }

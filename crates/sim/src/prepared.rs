@@ -32,8 +32,8 @@ pub struct Prepared {
     pub changes: Vec<SourceChange>,
     /// First value of each trace (all nodes start coherent at these).
     pub initial_values: Vec<f64>,
-    /// Observation horizon, ms.
-    pub end_ms: f64,
+    /// Observation horizon, µs (the engine's integer timebase).
+    pub end_us: u64,
     cfg: SimConfig,
 }
 
@@ -63,7 +63,7 @@ impl Prepared {
         let initial_values: Vec<f64> =
             traces.iter().map(|t| t.first().expect("non-empty trace").value).collect();
         let changes = merge_changes(&traces);
-        let end_ms = traces.iter().map(Trace::duration_ms).max().unwrap_or(0) as f64;
+        let end_us = traces.iter().map(Trace::duration_ms).max().unwrap_or(0) * 1000;
         Self {
             traces,
             workload,
@@ -72,7 +72,7 @@ impl Prepared {
             coop_degree,
             changes,
             initial_values,
-            end_ms,
+            end_us,
             cfg: cfg.clone(),
         }
     }
@@ -80,8 +80,7 @@ impl Prepared {
     /// Runs the dissemination simulation and gathers the report.
     pub fn run(&self) -> RunReport {
         use d3t_core::lela::OverlayDelays;
-        let disseminator =
-            Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
+        let disseminator = Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
         let engine = Engine::new(
             &self.d3g,
             &self.workload,
@@ -90,7 +89,7 @@ impl Prepared {
             &self.changes,
             &self.initial_values,
             self.cfg.comp_delay_ms,
-            self.end_ms,
+            self.end_us,
         );
         let (fidelity, metrics) = engine.run();
         RunReport {
@@ -110,21 +109,15 @@ impl Prepared {
 }
 
 fn build_traces(cfg: &SimConfig) -> Vec<Trace> {
-    let ensemble = EnsembleConfig {
-        n_items: cfg.n_items,
-        n_ticks: cfg.n_ticks,
-        ..cfg.ensemble.clone()
-    };
+    let ensemble =
+        EnsembleConfig { n_items: cfg.n_items, n_ticks: cfg.n_ticks, ..cfg.ensemble.clone() };
     generate_ensemble(&ensemble, cfg.sub_seed("traces"))
 }
 
 /// Extracts the overlay delay matrix from a freshly generated physical
 /// network, optionally rescaled to a target mean delay.
 fn build_delays(cfg: &SimConfig) -> (DelayMatrix, f64) {
-    let net_cfg = d3t_net::NetworkConfig {
-        n_repositories: cfg.n_repos,
-        ..cfg.network.clone()
-    };
+    let net_cfg = d3t_net::NetworkConfig { n_repositories: cfg.n_repos, ..cfg.network.clone() };
     assert!(
         net_cfg.n_nodes > cfg.n_repos,
         "network must have room for repositories plus the source"
@@ -252,9 +245,6 @@ mod tests {
         let c = Prepared::build(&cfg).run();
         let dm = d.metrics.messages as f64;
         let cm = c.metrics.messages as f64;
-        assert!(
-            (dm - cm).abs() / dm.max(1.0) < 0.35,
-            "distributed {dm} vs centralized {cm}"
-        );
+        assert!((dm - cm).abs() / dm.max(1.0) < 0.35, "distributed {dm} vs centralized {cm}");
     }
 }

@@ -26,13 +26,7 @@ impl TraceGenerator {
     pub fn new(model: PriceModel, start_value: f64, poll_interval_ms: u64) -> Self {
         assert!(start_value > 0.0 && start_value.is_finite(), "start value must be positive");
         assert!(poll_interval_ms > 0, "poll interval must be positive");
-        Self {
-            model,
-            start_value,
-            poll_interval_ms,
-            name: "ITEM".to_string(),
-            poll_jitter: 0.0,
-        }
+        Self { model, start_value, poll_interval_ms, name: "ITEM".to_string(), poll_jitter: 0.0 }
     }
 
     /// Sets the item name recorded on the trace.

@@ -28,7 +28,9 @@ impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "trace I/O error: {e}"),
-            Self::Parse { line, message } => write!(f, "trace parse error at line {line}: {message}"),
+            Self::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -46,24 +46,18 @@ impl Trace {
     /// conditions a caller should handle.
     pub fn new(name: impl Into<String>, ticks: Vec<Tick>) -> Self {
         for pair in ticks.windows(2) {
-            assert!(
-                pair[0].at_ms < pair[1].at_ms,
-                "trace timestamps must be strictly increasing"
-            );
+            assert!(pair[0].at_ms < pair[1].at_ms, "trace timestamps must be strictly increasing");
         }
-        assert!(
-            ticks.iter().all(|t| t.value.is_finite()),
-            "trace values must be finite"
-        );
+        assert!(ticks.iter().all(|t| t.value.is_finite()), "trace values must be finite");
         Self { name: name.into(), ticks }
     }
 
     /// Builds a trace from `(at_ms, value)` pairs.
-    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
-        Self::new(
-            name,
-            pairs.into_iter().map(|(at_ms, value)| Tick { at_ms, value }).collect(),
-        )
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (u64, f64)>,
+    ) -> Self {
+        Self::new(name, pairs.into_iter().map(|(at_ms, value)| Tick { at_ms, value }).collect())
     }
 
     /// Number of ticks in the trace.
@@ -131,10 +125,7 @@ impl Trace {
     /// A copy truncated to the first `n` ticks (useful for scaled-down
     /// benchmark configurations).
     pub fn truncated(&self, n: usize) -> Trace {
-        Trace {
-            name: self.name.clone(),
-            ticks: self.ticks.iter().take(n).copied().collect(),
-        }
+        Trace { name: self.name.clone(), ticks: self.ticks.iter().take(n).copied().collect() }
     }
 }
 

@@ -19,21 +19,18 @@ fn main() {
     // Items: 0 = MSFT, 1 = ORCL, 2 = INTC. Tolerances in dollars.
     let c = Coherency::new;
     let needs = vec![
-        vec![Some(c(0.05)), None, None],            // repo 0: tight MSFT
-        vec![Some(c(0.50)), Some(c(0.30)), None],   // repo 1
-        vec![None, Some(c(0.10)), Some(c(0.40))],   // repo 2
-        vec![Some(c(0.02)), None, Some(c(0.90))],   // repo 3: tightest MSFT
-        vec![None, None, Some(c(0.20))],            // repo 4
+        vec![Some(c(0.05)), None, None],          // repo 0: tight MSFT
+        vec![Some(c(0.50)), Some(c(0.30)), None], // repo 1
+        vec![None, Some(c(0.10)), Some(c(0.40))], // repo 2
+        vec![Some(c(0.02)), None, Some(c(0.90))], // repo 3: tightest MSFT
+        vec![None, None, Some(c(0.20))],          // repo 4
         vec![Some(c(0.70)), Some(c(0.70)), Some(c(0.70))], // repo 5: casual
-        vec![None, Some(c(0.05)), None],            // repo 6: tight ORCL
-        vec![Some(c(0.30)), None, Some(c(0.60))],   // repo 7
+        vec![None, Some(c(0.05)), None],          // repo 6: tight ORCL
+        vec![Some(c(0.30)), None, Some(c(0.60))], // repo 7
     ];
     let workload = Workload::from_needs(needs);
     let delays = DelayMatrix::uniform(workload.n_repos() + 1, 25.0);
-    let cfg = LelaConfig {
-        join_order: JoinOrder::Sequential,
-        ..LelaConfig::new(2, 42)
-    };
+    let cfg = LelaConfig { join_order: JoinOrder::Sequential, ..LelaConfig::new(2, 42) };
 
     let mut builder = LelaBuilder::new(&workload, &delays, &cfg);
     println!("LeLA construction, degree of cooperation = {}\n", cfg.coop_degree);

@@ -21,13 +21,17 @@ fn main() {
     println!("d3t quickstart — {} repositories, {} items", cfg.n_repos, cfg.n_items);
     println!("  degree of cooperation (Eq. 2): {}", report.coop_degree_used);
     println!("  mean overlay delay:            {:.1} ms", report.mean_comm_delay_ms);
-    println!("  dissemination tree depth:      max {} / mean {:.1}",
-        report.max_tree_depth, report.mean_tree_depth);
+    println!(
+        "  dissemination tree depth:      max {} / mean {:.1}",
+        report.max_tree_depth, report.mean_tree_depth
+    );
     println!("  loss of fidelity:              {:.2}%", report.loss_pct());
     println!("  fidelity:                      {:.2}%", report.fidelity.fidelity_pct());
     println!("  messages sent:                 {}", report.metrics.messages);
-    println!("  filter checks (source/repo):   {} / {}",
-        report.metrics.source_checks, report.metrics.repo_checks);
+    println!(
+        "  filter checks (source/repo):   {} / {}",
+        report.metrics.source_checks, report.metrics.repo_checks
+    );
     println!("  source updates considered:     {}", report.metrics.source_updates);
 
     assert!(report.loss_pct() < 50.0, "a controlled overlay should keep fidelity high");

@@ -56,8 +56,10 @@ fn main() {
         }
     }
 
-    println!("{:<8} {:>9} {:>14} {:>14} {:>14}", "Ticker", "changes",
-        "archive c=.02", "mirror c=.10", "dashbrd c=.50");
+    println!(
+        "{:<8} {:>9} {:>14} {:>14} {:>14}",
+        "Ticker", "changes", "archive c=.02", "mirror c=.10", "dashbrd c=.50"
+    );
     for (i, prof) in profiles.iter().enumerate() {
         println!(
             "{:<8} {:>9} {:>13}u {:>13}u {:>13}u",

@@ -1,14 +1,28 @@
 //! Property-based tests of the fidelity metric (§6.2): exact interval
 //! accounting, aggregation, and agreement with a brute-force oracle.
+//!
+//! The tracker runs on the engine's integer-microsecond timebase; event
+//! times here are whole milliseconds expressed in µs. Inputs are
+//! randomized from fixed seeds (the offline stand-in for proptest).
 
 use d3t::core::coherency::Coherency;
 use d3t::core::fidelity::FidelityTracker;
 use d3t::core::item::ItemId;
 use d3t::core::overlay::NodeIdx;
 use d3t::core::workload::Workload;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Brute-force oracle: sample the violation state on a fine grid.
+const MS: u64 = 1000; // µs per ms
+
+/// Random source steps: `(dt_ms, dv_cents)` pairs.
+fn random_steps(rng: &mut StdRng, max_len: usize, max_dt: u32, max_dv: i32) -> Vec<(u32, i32)> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len).map(|_| (rng.gen_range(1..max_dt), rng.gen_range(-max_dv..=max_dv))).collect()
+}
+
+/// Brute-force oracle: sample the violation state on a fine grid
+/// (times in ms).
 fn sampled_loss(
     c: f64,
     source_events: &[(f64, f64)],
@@ -34,106 +48,111 @@ fn sampled_loss(
     violated as f64 / total as f64 * 100.0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The tracker's exact interval accounting agrees with dense sampling.
-    #[test]
-    fn tracker_matches_sampling_oracle(
-        source_steps in proptest::collection::vec((1u32..100, -50i32..=50), 1..20),
-        repo_lag in 1u32..30,
-        c_cents in 1u32..80,
-    ) {
-        let c = c_cents as f64 / 100.0;
+/// The tracker's exact interval accounting agrees with dense sampling.
+#[test]
+fn tracker_matches_sampling_oracle() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1DE_0000 ^ seed);
+        let source_steps = random_steps(&mut rng, 20, 100, 50);
+        let repo_lag = rng.gen_range(1..30u32) as u64;
+        let c = rng.gen_range(1..80u32) as f64 / 100.0;
         let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
-        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
-        let mut t = 0.0f64;
+        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0);
+        let mut t_ms = 0u64;
         let mut v = 1.0f64;
         let mut source_events = Vec::new();
         let mut repo_events = Vec::new();
         for &(dt, dv) in &source_steps {
-            t += dt as f64;
+            t_ms += dt as u64;
             v = (v + dv as f64 / 100.0).max(0.01);
-            source_events.push((t, v));
+            source_events.push((t_ms as f64, v));
             // The repository receives the same value `repo_lag` ms later.
-            repo_events.push((t + repo_lag as f64, v));
+            repo_events.push(((t_ms + repo_lag) as f64, v));
         }
         // The tracker requires events in global timestamp order, exactly
-        // as the discrete-event engine delivers them: merge both streams.
-        let mut merged: Vec<(f64, f64, bool)> = source_events
+        // as the discrete-event engine delivers them: merge both streams
+        // (sources first at equal timestamps).
+        let mut merged: Vec<(u64, f64, bool)> = source_events
             .iter()
-            .map(|&(at, v)| (at, v, true))
-            .chain(repo_events.iter().map(|&(at, v)| (at, v, false)))
+            .map(|&(at, v)| (at as u64 * MS, v, true))
+            .chain(repo_events.iter().map(|&(at, v)| (at as u64 * MS, v, false)))
             .collect();
-        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
-        for (at, value, is_source) in merged {
+        merged.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
+        for (at_us, value, is_source) in merged {
             if is_source {
-                tracker.source_update(at, ItemId(0), value);
+                tracker.source_update(at_us, ItemId(0), value);
             } else {
-                tracker.repo_update(at, NodeIdx::repo(0), ItemId(0), value);
+                tracker.repo_update(at_us, NodeIdx::repo(0), ItemId(0), value);
             }
         }
-        let end = t + repo_lag as f64 + 50.0;
-        let report = tracker.finish(end);
-        let oracle = sampled_loss(c, &source_events, &repo_events, end, 0.05);
-        prop_assert!((report.loss_pct - oracle).abs() < 1.5,
-            "tracker {} vs oracle {}", report.loss_pct, oracle);
+        let end_ms = t_ms + repo_lag + 50;
+        let report = tracker.finish(end_ms * MS);
+        let oracle = sampled_loss(c, &source_events, &repo_events, end_ms as f64, 0.05);
+        assert!(
+            (report.loss_pct - oracle).abs() < 1.5,
+            "seed {seed}: tracker {} vs oracle {}",
+            report.loss_pct,
+            oracle
+        );
     }
+}
 
-    /// Loss is monotone in the tolerance: tightening `c` can only increase
-    /// measured loss for identical event streams.
-    #[test]
-    fn loss_is_monotone_in_tolerance(
-        source_steps in proptest::collection::vec((1u32..50, -40i32..=40), 1..15),
-        lag in 5u32..50,
-    ) {
+/// Loss is monotone in the tolerance: tightening `c` can only increase
+/// measured loss for identical event streams.
+#[test]
+fn loss_is_monotone_in_tolerance() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x3030_0000 ^ seed);
+        let source_steps = random_steps(&mut rng, 15, 50, 40);
+        let lag = rng.gen_range(5..50u32) as u64;
         let run = |c: f64| {
             let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
-            let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
-            let mut t = 0.0;
-            let mut v = 1.0;
-            let mut events: Vec<(f64, f64, bool)> = Vec::new();
+            let mut tracker = FidelityTracker::new(&workload, &[1.0], 0);
+            let mut t_ms = 0u64;
+            let mut v = 1.0f64;
+            let mut events: Vec<(u64, f64, bool)> = Vec::new();
             for &(dt, dv) in &source_steps {
-                t += dt as f64;
+                t_ms += dt as u64;
                 v = (v + dv as f64 / 100.0).max(0.01);
-                events.push((t, v, true));
-                events.push((t + lag as f64, v, false));
+                events.push((t_ms * MS, v, true));
+                events.push(((t_ms + lag) * MS, v, false));
             }
             // Deliver in global time order, as the engine does.
-            events.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
-            for (at, value, is_source) in events {
+            events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.2.cmp(&a.2)));
+            for (at_us, value, is_source) in events {
                 if is_source {
-                    tracker.source_update(at, ItemId(0), value);
+                    tracker.source_update(at_us, ItemId(0), value);
                 } else {
-                    tracker.repo_update(at, NodeIdx::repo(0), ItemId(0), value);
+                    tracker.repo_update(at_us, NodeIdx::repo(0), ItemId(0), value);
                 }
             }
-            tracker.finish(t + lag as f64 + 10.0).loss_pct
+            tracker.finish((t_ms + lag + 10) * MS).loss_pct
         };
         let tight = run(0.01);
         let loose = run(0.80);
-        prop_assert!(tight >= loose - 1e-9, "tight {tight} < loose {loose}");
+        assert!(tight >= loose - 1e-9, "seed {seed}: tight {tight} < loose {loose}");
     }
+}
 
-    /// A repository that mirrors the source instantly has zero loss no
-    /// matter the stream.
-    #[test]
-    fn instant_mirror_has_zero_loss(
-        source_steps in proptest::collection::vec((1u32..50, -40i32..=40), 1..25),
-        c_cents in 1u32..50,
-    ) {
-        let c = c_cents as f64 / 100.0;
+/// A repository that mirrors the source instantly has zero loss no matter
+/// the stream.
+#[test]
+fn instant_mirror_has_zero_loss() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x0000_AAAA ^ seed);
+        let source_steps = random_steps(&mut rng, 25, 50, 40);
+        let c = rng.gen_range(1..50u32) as f64 / 100.0;
         let workload = Workload::from_needs(vec![vec![Some(Coherency::new(c))]]);
-        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0.0);
-        let mut t = 0.0;
-        let mut v = 1.0;
+        let mut tracker = FidelityTracker::new(&workload, &[1.0], 0);
+        let mut t_ms = 0u64;
+        let mut v = 1.0f64;
         for &(dt, dv) in &source_steps {
-            t += dt as f64;
+            t_ms += dt as u64;
             v = (v + dv as f64 / 100.0).max(0.01);
-            tracker.source_update(t, ItemId(0), v);
-            tracker.repo_update(t, NodeIdx::repo(0), ItemId(0), v);
+            tracker.source_update(t_ms * MS, ItemId(0), v);
+            tracker.repo_update(t_ms * MS, NodeIdx::repo(0), ItemId(0), v);
         }
-        let report = tracker.finish(t + 100.0);
-        prop_assert_eq!(report.loss_pct, 0.0);
+        let report = tracker.finish((t_ms + 100) * MS);
+        assert_eq!(report.loss_pct, 0.0, "seed {seed}");
     }
 }

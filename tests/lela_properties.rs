@@ -6,117 +6,124 @@
 //! * no node ever exceeds its degree of cooperation;
 //! * per-item structures are trees (single parent, acyclic, rooted);
 //! * augmentation only ever *tightens* coherencies.
+//!
+//! Inputs are randomized from fixed seeds (the offline stand-in for the
+//! crates.io proptest dependency): every case is deterministic and each
+//! failure message names the seed that produced it.
 
 use d3t::core::coherency::Coherency;
 use d3t::core::lela::{build_d3g, DelayMatrix, JoinOrder, LelaConfig, PreferenceFunction};
 use d3t::core::overlay::NodeIdx;
 use d3t::core::workload::Workload;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn workload_strategy(
-    max_repos: usize,
-    max_items: usize,
-) -> impl Strategy<Value = Workload> {
-    (2..=max_repos, 1..=max_items).prop_flat_map(|(n_repos, n_items)| {
-        let cell = prop_oneof![
-            2 => (1u32..=100).prop_map(|cents| Some(cents as f64 / 100.0)),
-            1 => Just(None),
-        ];
-        proptest::collection::vec(proptest::collection::vec(cell, n_items), n_repos).prop_map(
-            move |mut rows| {
-                for (i, row) in rows.iter_mut().enumerate() {
-                    if row.iter().all(Option::is_none) {
-                        row[i % n_items] = Some(0.5);
+/// A random workload of up to `max_repos × max_items` needs: each cell is
+/// interested with probability 2/3, tolerances quantized to cents; every
+/// repository is guaranteed at least one need.
+fn random_workload(rng: &mut StdRng, max_repos: usize, max_items: usize) -> Workload {
+    let n_repos = rng.gen_range(2..=max_repos);
+    let n_items = rng.gen_range(1..=max_items);
+    let mut rows: Vec<Vec<Option<Coherency>>> = (0..n_repos)
+        .map(|_| {
+            (0..n_items)
+                .map(|_| {
+                    if rng.gen_range(0..3u32) < 2 {
+                        Some(Coherency::new(rng.gen_range(1..=100u32) as f64 / 100.0))
+                    } else {
+                        None
                     }
-                }
-                Workload::from_needs(
-                    rows.into_iter()
-                        .map(|r| r.into_iter().map(|c| c.map(Coherency::new)).collect())
-                        .collect(),
-                )
-            },
-        )
-    })
-}
-
-fn delay_strategy(n: usize) -> impl Strategy<Value = DelayMatrix> {
-    proptest::collection::vec(1u32..=120, n * n).prop_map(move |raw| {
-        let mut m = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = raw[i * n + j] as f64;
-                m[i * n + j] = d;
-                m[j * n + i] = d;
-            }
+                })
+                .collect()
+        })
+        .collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        if row.iter().all(Option::is_none) {
+            row[i % n_items] = Some(Coherency::new(0.5));
         }
-        DelayMatrix::new(n, m)
-    })
+    }
+    Workload::from_needs(rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random symmetric positive delay matrix over `n` overlay nodes,
+/// delays quantized to whole milliseconds in `1..=120`.
+fn random_delays(rng: &mut StdRng, n: usize) -> DelayMatrix {
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rng.gen_range(1..=120u32) as f64;
+            m[i * n + j] = d;
+            m[j * n + i] = d;
+        }
+    }
+    DelayMatrix::new(n, m)
+}
 
-    #[test]
-    fn lela_invariants_hold_for_random_inputs(
-        workload in workload_strategy(14, 5),
-        degree in 1usize..=14,
-        band in prop_oneof![Just(1.0), Just(5.0), Just(25.0)],
-        pref in prop_oneof![Just(PreferenceFunction::P1), Just(PreferenceFunction::P2)],
-        order in prop_oneof![
-            Just(JoinOrder::Random),
-            Just(JoinOrder::Sequential),
-            Just(JoinOrder::StringentFirst)
-        ],
-        seed in 0u64..1000,
-    ) {
-        let n = workload.n_repos() + 1;
-        // A fixed-seed random-ish delay matrix derived from `seed` keeps
-        // the strategy space manageable.
-        let delays = DelayMatrix::uniform(n, 5.0 + (seed % 40) as f64);
+#[test]
+fn lela_invariants_hold_for_random_inputs() {
+    let bands = [1.0, 5.0, 25.0];
+    let prefs = [PreferenceFunction::P1, PreferenceFunction::P2];
+    let orders = [JoinOrder::Random, JoinOrder::Sequential, JoinOrder::StringentFirst];
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xA110_0000 ^ seed);
+        let workload = random_workload(&mut rng, 14, 5);
+        let degree = rng.gen_range(1..=14usize);
         let cfg = LelaConfig {
             coop_degree: degree,
-            pref_band_pct: band,
-            pref_fn: pref,
-            join_order: order,
+            pref_band_pct: bands[rng.gen_range(0..bands.len())],
+            pref_fn: prefs[rng.gen_range(0..prefs.len())],
+            join_order: orders[rng.gen_range(0..orders.len())],
             seed,
         };
+        let delays = DelayMatrix::uniform(workload.n_repos() + 1, 5.0 + (seed % 40) as f64);
         let g = build_d3g(&workload, &delays, &cfg);
-        prop_assert!(g.validate(Some(degree)).is_ok(), "{:?}", g.validate(Some(degree)));
+        assert!(g.validate(Some(degree)).is_ok(), "seed {seed}: {:?}", g.validate(Some(degree)));
         for r in 0..workload.n_repos() {
             let node = NodeIdx::repo(r);
             for (item, c) in workload.items_of(r) {
                 let eff = g.effective(node, item);
-                prop_assert!(eff.is_some(), "repo {r} unserved for {item}");
-                prop_assert!(eff.unwrap().at_least_as_stringent_as(c),
-                    "augmentation must only tighten: {:?} vs {c}", eff);
-                prop_assert!(g.depth_in_item_tree(node, item).is_some(),
-                    "repo {r} not rooted for {item}");
+                assert!(eff.is_some(), "seed {seed}: repo {r} unserved for {item}");
+                assert!(
+                    eff.unwrap().at_least_as_stringent_as(c),
+                    "seed {seed}: augmentation must only tighten: {eff:?} vs {c}"
+                );
+                assert!(
+                    g.depth_in_item_tree(node, item).is_some(),
+                    "seed {seed}: repo {r} not rooted for {item}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn lela_handles_heterogeneous_delays(
-        workload in workload_strategy(10, 4),
-        delays in delay_strategy(11),
-        degree in 1usize..=10,
-    ) {
-        // The strategy generates an 11-node matrix; only run when the
-        // workload matches that overlay size.
-        prop_assume!(workload.n_repos() + 1 == 11);
+#[test]
+fn lela_handles_heterogeneous_delays() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE1A_0000 ^ seed);
+        // Fix the overlay size so workload and delay matrix agree.
+        let workload = loop {
+            let w = random_workload(&mut rng, 10, 4);
+            if w.n_repos() == 10 {
+                break w;
+            }
+        };
+        let delays = random_delays(&mut rng, 11);
+        let degree = rng.gen_range(1..=10usize);
         let g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 3));
-        prop_assert!(g.validate(Some(degree)).is_ok());
+        assert!(g.validate(Some(degree)).is_ok(), "seed {seed}");
     }
+}
 
-    /// The d3g is the union of per-item trees: the number of distinct
-    /// dependents of any node never exceeds the number of repositories,
-    /// and total edges per item equal the number of holders minus one
-    /// (tree edge count).
-    #[test]
-    fn per_item_structures_are_trees(
-        workload in workload_strategy(12, 4),
-        degree in 1usize..=12,
-    ) {
+/// The d3g is the union of per-item trees: the number of distinct
+/// dependents of any node never exceeds the number of repositories, and
+/// total edges per item equal the number of holders minus one (tree edge
+/// count).
+#[test]
+fn per_item_structures_are_trees() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7EEE_0000 ^ seed);
+        let workload = random_workload(&mut rng, 12, 4);
+        let degree = rng.gen_range(1..=12usize);
         let delays = DelayMatrix::uniform(workload.n_repos() + 1, 20.0);
         let g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 11));
         for i in 0..workload.n_items() {
@@ -124,10 +131,12 @@ proptest! {
             let holders = (1..g.n_nodes())
                 .filter(|&n| g.effective(NodeIdx(n as u32), item).is_some())
                 .count();
-            let edges: usize = (0..g.n_nodes())
-                .map(|n| g.children_of(NodeIdx(n as u32), item).len())
-                .sum();
-            prop_assert_eq!(edges, holders, "item {}: {} edges for {} holders", i, edges, holders);
+            let edges: usize =
+                (0..g.n_nodes()).map(|n| g.children_of(NodeIdx(n as u32), item).len()).sum();
+            assert_eq!(
+                edges, holders,
+                "seed {seed}: item {i}: {edges} edges for {holders} holders"
+            );
         }
     }
 }

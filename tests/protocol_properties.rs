@@ -9,6 +9,9 @@
 //!   forwarding* but not globally — we check the weaker per-edge
 //!   guarantee it does provide, and that whole-system violations it incurs
 //!   are always explained by a skipped Eq.(7) rescue.
+//!
+//! Inputs are randomized from fixed seeds (the offline stand-in for
+//! proptest): every case is deterministic and failures name their seed.
 
 use d3t::core::coherency::Coherency;
 use d3t::core::dissemination::{Disseminator, Protocol};
@@ -17,47 +20,43 @@ use d3t::core::item::ItemId;
 use d3t::core::lela::{build_d3g, DelayMatrix, LelaConfig};
 use d3t::core::overlay::NodeIdx;
 use d3t::core::workload::Workload;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a workload of `n_repos` repositories over `n_items` items
-/// with random interests and tolerances.
-fn workload_strategy(
-    n_repos: usize,
-    n_items: usize,
-) -> impl Strategy<Value = Workload> {
-    let cell = prop_oneof![
-        3 => (1u32..=100).prop_map(|cents| Some(cents as f64 / 100.0)),
-        1 => Just(None),
-    ];
-    proptest::collection::vec(proptest::collection::vec(cell, n_items), n_repos).prop_map(
-        move |mut rows| {
-            // Guarantee each repository wants something.
-            for (i, row) in rows.iter_mut().enumerate() {
-                if row.iter().all(Option::is_none) {
-                    row[i % n_items] = Some(0.25);
-                }
-            }
-            Workload::from_needs(
-                rows.into_iter()
-                    .map(|row| row.into_iter().map(|c| c.map(Coherency::new)).collect())
-                    .collect(),
-            )
-        },
-    )
+/// A workload of `n_repos` repositories over `n_items` items with random
+/// interests (3/4 probability) and cent-quantized tolerances; every
+/// repository is guaranteed at least one need.
+fn random_workload(rng: &mut StdRng, n_repos: usize, n_items: usize) -> Workload {
+    let mut rows: Vec<Vec<Option<Coherency>>> = (0..n_repos)
+        .map(|_| {
+            (0..n_items)
+                .map(|_| {
+                    if rng.gen_range(0..4u32) < 3 {
+                        Some(Coherency::new(rng.gen_range(1..=100u32) as f64 / 100.0))
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        if row.iter().all(Option::is_none) {
+            row[i % n_items] = Some(Coherency::new(0.25));
+        }
+    }
+    Workload::from_needs(rows)
 }
 
-/// Strategy: a cents-quantized random walk of `len` steps starting at $10.
-fn walk_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-25i32..=25, len).prop_map(|steps| {
-        let mut v = 1000i64; // cents
-        steps
-            .iter()
-            .map(|&s| {
-                v = (v + s as i64).max(1);
-                v as f64 / 100.0
-            })
-            .collect()
-    })
+/// A cents-quantized random walk of `len` steps starting at $10.
+fn random_walk(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    let mut v = 1000i64; // cents
+    (0..len)
+        .map(|_| {
+            v = (v + rng.gen_range(-25..=25i32) as i64).max(1);
+            v as f64 / 100.0
+        })
+        .collect()
 }
 
 fn zero_delay_violations(
@@ -83,86 +82,77 @@ fn zero_delay_violations(
     violations
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The distributed protocol never violates any repository's tolerance
-    /// when delays are zero — the paper's 100%-fidelity claim (§5.1).
-    #[test]
-    fn distributed_achieves_perfect_zero_delay_fidelity(
-        workload in workload_strategy(8, 3),
-        walks in proptest::collection::vec(walk_strategy(40), 3),
-        degree in 1usize..=8,
-    ) {
-        prop_assert_eq!(
-            zero_delay_violations(Protocol::Distributed, &workload, degree, &walks),
-            0
+fn check_zero_delay_perfect(protocol: Protocol, tag: u64, n_repos: usize, n_items: usize) {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(tag ^ seed);
+        let workload = random_workload(&mut rng, n_repos, n_items);
+        let walks: Vec<Vec<f64>> = (0..n_items).map(|_| random_walk(&mut rng, 40)).collect();
+        let degree = rng.gen_range(1..=n_repos);
+        assert_eq!(
+            zero_delay_violations(protocol, &workload, degree, &walks),
+            0,
+            "seed {seed}: {protocol:?} violated a tolerance at zero delay"
         );
     }
+}
 
-    /// Same claim for the centralized protocol (§5.2).
-    #[test]
-    fn centralized_achieves_perfect_zero_delay_fidelity(
-        workload in workload_strategy(8, 3),
-        walks in proptest::collection::vec(walk_strategy(40), 3),
-        degree in 1usize..=8,
-    ) {
-        prop_assert_eq!(
-            zero_delay_violations(Protocol::Centralized, &workload, degree, &walks),
-            0
-        );
-    }
+/// The distributed protocol never violates any repository's tolerance when
+/// delays are zero — the paper's 100%-fidelity claim (§5.1).
+#[test]
+fn distributed_achieves_perfect_zero_delay_fidelity() {
+    check_zero_delay_perfect(Protocol::Distributed, 0xD157_0000, 8, 3);
+}
 
-    /// Flooding trivially achieves zero-delay coherence too (it forwards
-    /// everything) — a sanity check on the violation detector itself.
-    #[test]
-    fn flooding_achieves_perfect_zero_delay_fidelity(
-        workload in workload_strategy(6, 2),
-        walks in proptest::collection::vec(walk_strategy(30), 2),
-        degree in 1usize..=6,
-    ) {
-        prop_assert_eq!(
-            zero_delay_violations(Protocol::FloodAll, &workload, degree, &walks),
-            0
-        );
-    }
+/// Same claim for the centralized protocol (§5.2).
+#[test]
+fn centralized_achieves_perfect_zero_delay_fidelity() {
+    check_zero_delay_perfect(Protocol::Centralized, 0xCE47_0000, 8, 3);
+}
 
-    /// Eq. (7) subsumes Eq. (3) *per decision* on valid edges: given the
-    /// same (value, last-sent, tolerances) state, whatever the naive
-    /// filter forwards, the distributed filter forwards too. (Over whole
-    /// runs the histories diverge — a naive child's copy grows staler, so
-    /// later naive decisions can fire where distributed's fresher state
-    /// does not; proptest found exactly that, so the run-level message
-    /// counts are *not* comparable.)
-    #[test]
-    fn naive_decision_implies_distributed_decision(
-        value_cents in 1i64..=100_000,
-        last_cents in 1i64..=100_000,
-        c_self_cents in 0u32..=100,
-        margin_cents in 0u32..=100,
-    ) {
-        use d3t::core::dissemination::{distributed, naive};
-        let v = value_cents as f64 / 100.0;
-        let last = last_cents as f64 / 100.0;
+/// Flooding trivially achieves zero-delay coherence too (it forwards
+/// everything) — a sanity check on the violation detector itself.
+#[test]
+fn flooding_achieves_perfect_zero_delay_fidelity() {
+    check_zero_delay_perfect(Protocol::FloodAll, 0xF100_0000, 6, 2);
+}
+
+/// Eq. (7) subsumes Eq. (3) *per decision* on valid edges: given the same
+/// (value, last-sent, tolerances) state, whatever the naive filter
+/// forwards, the distributed filter forwards too. (Over whole runs the
+/// histories diverge — a naive child's copy grows staler, so later naive
+/// decisions can fire where distributed's fresher state does not, so the
+/// run-level message counts are *not* comparable.)
+#[test]
+fn naive_decision_implies_distributed_decision() {
+    use d3t::core::dissemination::{distributed, naive};
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x0EC3_0000 ^ seed);
+        let v = rng.gen_range(1..=100_000i64) as f64 / 100.0;
+        let last = rng.gen_range(1..=100_000i64) as f64 / 100.0;
+        let c_self_cents = rng.gen_range(0..=100u32);
+        let margin_cents = rng.gen_range(0..=100u32);
         let c_self = Coherency::new(c_self_cents as f64 / 100.0);
         // Eq.(1): the child is at most as stringent as the parent.
         let c_child = Coherency::new((c_self_cents + margin_cents) as f64 / 100.0);
         if naive::should_forward(v, last, c_self, c_child) {
-            prop_assert!(
+            assert!(
                 distributed::should_forward(v, last, c_self, c_child),
-                "naive fired but distributed did not: v={v} last={last} {c_self} {c_child}"
+                "seed {seed}: naive fired but distributed did not: \
+                 v={v} last={last} {c_self} {c_child}"
             );
         }
     }
+}
 
-    /// The distributed protocol stays violation-free on the same streams
-    /// where naive's and distributed's histories diverge.
-    #[test]
-    fn distributed_stays_coherent_where_histories_diverge(
-        workload in workload_strategy(8, 3),
-        walks in proptest::collection::vec(walk_strategy(40), 3),
-        degree in 1usize..=8,
-    ) {
+/// The distributed protocol stays violation-free on the same streams where
+/// naive's and distributed's histories diverge.
+#[test]
+fn distributed_stays_coherent_where_histories_diverge() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF_0000 ^ seed);
+        let workload = random_workload(&mut rng, 8, 3);
+        let walks: Vec<Vec<f64>> = (0..3).map(|_| random_walk(&mut rng, 40)).collect();
+        let degree = rng.gen_range(1..=8usize);
         let delays = DelayMatrix::uniform(workload.n_repos() + 1, 10.0);
         let d3g = build_d3g(&workload, &delays, &LelaConfig::new(degree, 7));
         let initial: Vec<f64> = walks.iter().map(|w| w[0]).collect();
@@ -171,7 +161,7 @@ proptest! {
             .collect();
         let mut dist = Disseminator::new(Protocol::Distributed, &d3g, &initial);
         let d = dist.run_zero_delay(&d3g, updates.iter().copied());
-        prop_assert!(d.violations.is_empty());
+        assert!(d.violations.is_empty(), "seed {seed}");
     }
 }
 
@@ -181,15 +171,12 @@ proptest! {
 #[test]
 fn deep_chain_with_tight_gaps_is_coherent() {
     let n = 12;
-    let needs: Vec<Vec<Option<Coherency>>> = (0..n)
-        .map(|i| vec![Some(Coherency::new(0.05 + 0.05 * i as f64))])
-        .collect();
+    let needs: Vec<Vec<Option<Coherency>>> =
+        (0..n).map(|i| vec![Some(Coherency::new(0.05 + 0.05 * i as f64))]).collect();
     let workload = Workload::from_needs(needs);
     let delays = DelayMatrix::uniform(n + 1, 5.0);
-    let cfg = LelaConfig {
-        join_order: d3t::core::lela::JoinOrder::Sequential,
-        ..LelaConfig::new(1, 0)
-    };
+    let cfg =
+        LelaConfig { join_order: d3t::core::lela::JoinOrder::Sequential, ..LelaConfig::new(1, 0) };
     let d3g = build_d3g(&workload, &delays, &cfg);
     let initial = [10.0];
     let mut d = Disseminator::new(Protocol::Distributed, &d3g, &initial);
@@ -215,8 +202,7 @@ fn deep_chain_with_tight_gaps_is_coherent() {
 #[test]
 fn figure4_missed_update_demonstration() {
     let c = Coherency::new;
-    let workload =
-        Workload::from_needs(vec![vec![Some(c(0.3))], vec![Some(c(0.5))]]);
+    let workload = Workload::from_needs(vec![vec![Some(c(0.3))], vec![Some(c(0.5))]]);
     let mut g = D3g::new(2, 1);
     g.add_edge(d3t::core::overlay::SOURCE, NodeIdx::repo(0), ItemId(0), c(0.3));
     g.add_edge(NodeIdx::repo(0), NodeIdx::repo(1), ItemId(0), c(0.5));

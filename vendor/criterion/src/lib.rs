@@ -1,0 +1,260 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the API surface the workspace's bench targets use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `bench_function` /
+//! `bench_with_input`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop:
+//! warm up for `warm_up_time`, then run timed samples until
+//! `measurement_time` elapses (at least `sample_size` samples), and report
+//! min / median / mean per iteration. No plotting, no statistics beyond
+//! that; enough to compare implementations and catch large regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Upstream parity: CLI filtering is not implemented; returns `self`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the minimum sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Overrides the target measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.c, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// Builds from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch iterations so each sample is long enough to time reliably,
+        // without overshooting the measurement budget.
+        let target_sample_s = (self.measurement.as_secs_f64() / self.sample_size as f64).max(1e-4);
+        let batch = (target_sample_s / per_iter.max(1e-9)).clamp(1.0, 1e9) as u64;
+        let meas_start = Instant::now();
+        while self.samples_ns.len() < self.sample_size || meas_start.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if self.samples_ns.len() >= self.sample_size * 100 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, f: &mut F) {
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        sample_size: c.sample_size,
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<48} (no samples — closure never called iter)");
+        return;
+    }
+    let mut s = b.samples_ns;
+    s.sort_by(f64::total_cmp);
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "{id:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("run_repos", 10);
+        assert_eq!(id.id, "run_repos/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

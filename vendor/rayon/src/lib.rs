@@ -1,0 +1,353 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//!
+//! The build environment cannot fetch crates.io, so this crate implements
+//! the narrow parallel-iterator surface the workspace uses —
+//! `par_iter()` / `into_par_iter()` → `map(...)` → `collect::<Vec<_>>()`
+//! plus [`join`] — on top of `std::thread::scope`.
+//!
+//! Guarantees that callers rely on:
+//!
+//! * **Output order equals input order**, regardless of how many worker
+//!   threads run or how items interleave — results are written into
+//!   per-index slots, so a parallel map is byte-identical to its serial
+//!   equivalent whenever the mapped function is deterministic per item.
+//! * **Dynamic scheduling**: workers pull the next unclaimed index from a
+//!   shared atomic counter, so uneven per-item costs balance across
+//!   threads (the same property rayon's work stealing provides for this
+//!   shape of workload).
+//! * `RAYON_NUM_THREADS` is honored (0 or unset → all available cores).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+std::thread_local! {
+    /// Per-thread width override installed by [`with_num_threads`]
+    /// (0 = none). A thread-local rather than an env var so tests can
+    /// pin the width without racing concurrent `getenv` calls.
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// True on threads spawned by a parallel call. Nested parallel calls
+    /// run serially on such threads, so nesting cannot oversubscribe the
+    /// machine (real rayon achieves the same by sharing one global pool).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.with(|o| o.get());
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with every parallel call on *this* thread capped at `n`
+/// workers (0 restores the default). The stand-in for rayon's scoped
+/// `ThreadPoolBuilder`; unlike setting `RAYON_NUM_THREADS` at runtime it
+/// is safe under concurrent threads (no `setenv`).
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(n));
+    let result = f();
+    THREAD_OVERRIDE.with(|o| o.set(prev));
+    result
+}
+
+/// Runs `a` and `b` potentially in parallel and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join worker panicked"))
+    })
+}
+
+/// Eager parallel map preserving input order. The building block behind
+/// every iterator below.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("rayon-shim: item slot poisoned")
+                        .take()
+                        .expect("rayon-shim: item claimed twice");
+                    let r = f(item);
+                    *out[i].lock().expect("rayon-shim: result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon-shim: result slot poisoned")
+                .expect("rayon-shim: worker skipped an index")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator (items are collected eagerly; only the
+/// mapped work runs in parallel — the shapes this workspace needs).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A `map` stage awaiting terminal `collect`/`for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Terminal operations shared by the iterator stages.
+pub trait ParallelIterator: Sized {
+    /// Element type produced by this stage.
+    type Item: Send;
+
+    /// Runs the pipeline and returns the results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, ComposedFn<Self, F>>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Collects results in input order. Only `Vec<Item>` is supported.
+    fn collect<C: FromOrderedParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Applies `f` to every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self::Item: Send,
+    {
+        let _ = par_map_vec(self.run(), &|t| f(t));
+    }
+
+    /// Total number of elements.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// Function composition produced by chained `map` calls.
+pub struct ComposedFn<Prev, F> {
+    _marker: std::marker::PhantomData<Prev>,
+    f: F,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+
+    fn map<R, F>(self, f: F) -> ParMap<T, ComposedFn<Self, F>>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f: ComposedFn { _marker: std::marker::PhantomData, f } }
+    }
+}
+
+impl<T, R, Prev, F> ParallelIterator for ParMap<T, ComposedFn<Prev, F>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_vec(self.items, &self.f.f)
+    }
+
+    fn map<R2, F2>(self, f2: F2) -> ParMap<R, ComposedFn<Self, F2>>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        // Chained maps materialize the intermediate stage; acceptable for
+        // the coarse-grained pipelines this workspace runs.
+        ParMap { items: self.run(), f: ComposedFn { _marker: std::marker::PhantomData, f: f2 } }
+    }
+}
+
+/// Collection types a parallel pipeline can terminate into.
+pub trait FromOrderedParallel<T> {
+    /// Builds the collection from already-ordered results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Conversion into an owning parallel iterator (`rayon::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Borrowing conversion (`rayon::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, v.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_uneven_work() {
+        let v: Vec<u64> = (0..200).collect();
+        let f = |x: u64| {
+            // Uneven spin so items finish out of order.
+            let mut acc = x;
+            for _ in 0..(x % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let par: Vec<u64> = v.clone().into_par_iter().map(f).collect();
+        let ser: Vec<u64> = v.into_iter().map(f).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        super::with_num_threads(3, || {
+            assert_eq!(super::current_num_threads(), 3);
+            let v: Vec<usize> =
+                (0..50).collect::<Vec<_>>().into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v, (1..=50).collect::<Vec<_>>());
+        });
+        assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_serial_on_workers() {
+        // Outer parallel map; inner parallel calls on worker threads must
+        // see width 1 (no thread explosion) and still produce ordered
+        // results.
+        let out: Vec<Vec<usize>> = (0..8)
+            .collect::<Vec<usize>>()
+            .into_par_iter()
+            .map(|i| {
+                assert_eq!(super::current_num_threads(), 1, "nested call must be serial");
+                (0..10).collect::<Vec<usize>>().into_par_iter().map(move |j| i * 10 + j).collect()
+            })
+            .collect();
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(*row, (0..10).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* the workspace imports —
+//! re-exported no-op derive macros (see the vendored `serde_derive`) —
+//! so type definitions stay byte-compatible with upstream serde. Marker
+//! traits of the same names are declared too, in case future code writes
+//! `T: Serialize` bounds.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

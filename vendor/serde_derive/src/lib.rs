@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! they are serialization-ready, but nothing in the repo serializes yet and
+//! the build environment cannot fetch real serde. These derives accept the
+//! same attribute grammar (`#[serde(...)]` is registered as a helper) and
+//! expand to nothing; swapping in upstream serde later is a Cargo.toml-only
+//! change.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
