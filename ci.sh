@@ -17,5 +17,11 @@ cargo test -q
 
 echo "== repro smoke =="
 cargo run --release -p d3t-experiments --bin repro -- fig4 --tiny > /dev/null
+# One timed base-config run per scheduler backend; the SMOKE lines are
+# machine-readable (events processed, wall µs, events/sec) so event-loop
+# throughput is a tracked number across PRs.
+for queue in calendar heap; do
+    cargo run --release -q -p d3t-experiments --bin repro -- smoke --queue "$queue"
+done
 
 echo "CI green."

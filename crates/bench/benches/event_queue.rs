@@ -1,0 +1,127 @@
+//! Raw scheduler micro-bench: calendar queue vs binary heap.
+//!
+//! Two workload shapes per backend, across pending-set sizes spanning the
+//! calendar queue's adaptation thresholds:
+//!
+//! * `steady_state` — hold the pending set at N while alternating
+//!   push/pop near the cursor: the regime a running simulation actually
+//!   keeps its scheduler in. The calendar's O(1) tier wins ~2× and the
+//!   gap *grows* with depth (the heap pays `O(log n)`, the calendar
+//!   doesn't). The `engine_throughput` bench's `schedule_replay` measures
+//!   the same effect on the engine's real event trace.
+//! * `seed_drain` — bulk-seed N events then pop them all with no
+//!   interleaved churn. This is the two-tier calendar's *worst case* and
+//!   it loses to the raw heap here by design: with zero churn to absorb,
+//!   every event transits the overflow heap *and* the calendar tier, so
+//!   the queue does strictly more work than a heap alone. An engine run
+//!   is seed + churn, so it lives in the `steady_state` column.
+//!
+//! Distributions: `uniform` over a 10⁴-second horizon, `bursty` (tight
+//! clusters plus rare far outliers — exercises the overload width shrink
+//! and the migration cap), and `monotone` (strictly advancing times).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use d3t_sim::{CalendarQueue, EventQueue, HeapQueue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIZES: &[usize] = &[1_024, 32_768, 262_144];
+const DISTS: &[&str] = &["uniform", "bursty", "monotone"];
+
+fn stream(dist: &str, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ n as u64);
+    let mut clock = 0u64;
+    (0..n)
+        .map(|_| match dist {
+            "uniform" => rng.gen_range(0..10_000_000_000u64),
+            "bursty" => {
+                let epoch = (rng.gen::<u64>() % 8) * 1_000_000_000;
+                if rng.gen::<u64>() % 64 == 0 {
+                    epoch + rng.gen_range(0..1_000_000_000u64)
+                } else {
+                    epoch + rng.gen_range(0..2_000u64)
+                }
+            }
+            "monotone" => {
+                clock += rng.gen_range(0..80_000u64);
+                clock
+            }
+            _ => unreachable!("distribution list is closed"),
+        })
+        .collect()
+}
+
+fn seed_drain<Q: EventQueue<u64>>(keys: &[u64]) -> u64 {
+    let mut q = Q::with_capacity(keys.len());
+    for (seq, &at) in keys.iter().enumerate() {
+        q.push(at, seq as u64, seq as u64);
+    }
+    let mut acc = 0u64;
+    while let Some((at, _, _)) = q.pop() {
+        acc ^= at;
+    }
+    acc
+}
+
+/// Pops the minimum and re-pushes a new event a random offset later,
+/// keeping the pending set at `keys.len()`.
+fn steady_state<Q: EventQueue<u64>>(keys: &[u64], rounds: usize) -> u64 {
+    let mut q = Q::with_capacity(keys.len());
+    for (seq, &at) in keys.iter().enumerate() {
+        q.push(at, seq as u64, seq as u64);
+    }
+    let mut acc = 0u64;
+    for i in 0..rounds as u64 {
+        let seq = keys.len() as u64 + i;
+        let (at, _, _) = q.pop().expect("steady-state queue never empties");
+        acc ^= at;
+        q.push(at + 1 + (i * 2_654_435_761) % 500_000, seq, seq);
+    }
+    acc
+}
+
+fn bench_seed_drain(c: &mut Criterion) {
+    for &dist in DISTS {
+        let name = format!("event_queue/seed_drain/{dist}");
+        let mut group = c.benchmark_group(&name);
+        for &n in SIZES {
+            let keys = stream(dist, n);
+            group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, _| {
+                b.iter(|| black_box(seed_drain::<CalendarQueue<u64>>(&keys)));
+            });
+            group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
+                b.iter(|| black_box(seed_drain::<HeapQueue<u64>>(&keys)));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let rounds = 100_000;
+    let mut group = c.benchmark_group("event_queue/steady_state/uniform");
+    for &n in SIZES {
+        let keys = stream("uniform", n);
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, _| {
+            b.iter(|| black_box(steady_state::<CalendarQueue<u64>>(&keys, rounds)));
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
+            b.iter(|| black_box(steady_state::<HeapQueue<u64>>(&keys, rounds)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion::criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_seed_drain, bench_steady_state
+}
+criterion::criterion_main!(benches);

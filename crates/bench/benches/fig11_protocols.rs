@@ -38,7 +38,7 @@ fn star_filter_micro(c: &mut Criterion) {
             let mut v = 10.0;
             b.iter(|| {
                 v += 0.02;
-                black_box(d.on_source_update(&g, ItemId(0), v))
+                black_box(d.on_source_update(ItemId(0), v))
             });
         });
     }

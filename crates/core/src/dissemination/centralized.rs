@@ -13,7 +13,6 @@
 //! entire system — the scalability cost §6.3.4 measures (Figure 11a shows
 //! ~50% more checks than the distributed approach for the same messages).
 
-use crate::graph::D3g;
 use crate::item::ItemId;
 use crate::overlay::NodeIdx;
 
@@ -53,25 +52,16 @@ pub(super) fn tag_update(
 
 /// Tag-based forwarding performed by every node on the dissemination path
 /// (including the source, once the tag is computed).
-pub(super) fn forward(
-    d: &mut Disseminator,
-    d3g: &D3g,
-    node: NodeIdx,
-    update: Update,
-) -> Forwarding {
+pub(super) fn forward(d: &mut Disseminator, node: NodeIdx, update: Update) -> Forwarding {
     let tag = update.tag.expect("centralized updates always carry a tag");
     let mut to = Vec::new();
     let mut checks = 0u64;
-    for &child in d3g.children_of(node, update.item) {
+    for child in d.children_row(node, update.item) {
         checks += 1;
-        let c_child = d3g
-            .effective(child, update.item)
-            .expect("child subscribed to an item it does not hold");
-        if c_child <= tag {
-            to.push(child);
+        if child.c <= tag {
+            to.push(child.node);
         }
     }
-    let _ = d;
     Forwarding { to, update, checks }
 }
 
@@ -112,12 +102,12 @@ mod tests {
         let g = star();
         let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
         // 1.2 violates c=0.1 but not c=0.4 → tag 0.1, only repo 0 served.
-        let f = d.on_source_update(&g, ItemId(0), 1.2);
+        let f = d.on_source_update(ItemId(0), 1.2);
         assert_eq!(f.update.tag, Some(c(0.1)));
         assert_eq!(f.to, vec![NodeIdx::repo(0)]);
         // Another +0.25: repo0's last sent is 1.2 → violated; repo1's last
         // sent is still 1.0 and |1.45-1.0| > 0.4 → tag 0.4, both served.
-        let f = d.on_source_update(&g, ItemId(0), 1.45);
+        let f = d.on_source_update(ItemId(0), 1.45);
         assert_eq!(f.update.tag, Some(c(0.4)));
         assert_eq!(f.to, vec![NodeIdx::repo(0), NodeIdx::repo(1)]);
     }
@@ -126,7 +116,7 @@ mod tests {
     fn no_violation_means_no_dissemination() {
         let g = star();
         let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
-        let f = d.on_source_update(&g, ItemId(0), 1.05);
+        let f = d.on_source_update(ItemId(0), 1.05);
         assert!(f.to.is_empty());
         assert_eq!(f.update.tag, None);
         assert_eq!(f.checks, 2, "both tolerances examined");
@@ -136,7 +126,7 @@ mod tests {
     fn last_sent_updates_only_for_covered_tolerances() {
         let g = star();
         let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
-        let _ = d.on_source_update(&g, ItemId(0), 1.2); // tag 0.1
+        let _ = d.on_source_update(ItemId(0), 1.2); // tag 0.1
         let list = d.source_list_mut(ItemId(0)).clone();
         assert_eq!(list[0].1, 1.2, "c=0.1 refreshed");
         assert_eq!(list[1].1, 1.0, "c=0.4 untouched");
@@ -151,13 +141,13 @@ mod tests {
         g.add_edge(SOURCE, a, ItemId(0), c(0.1));
         g.add_edge(a, b, ItemId(0), c(0.4));
         let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
-        let f = d.on_source_update(&g, ItemId(0), 1.2);
+        let f = d.on_source_update(ItemId(0), 1.2);
         assert_eq!(f.update.tag, Some(c(0.1)));
-        let f_a = d.on_repo_update(&g, a, f.update);
+        let f_a = d.on_repo_update(a, f.update);
         assert!(f_a.to.is_empty(), "tag 0.1 < c_b=0.4: B skipped");
-        let f = d.on_source_update(&g, ItemId(0), 1.5);
+        let f = d.on_source_update(ItemId(0), 1.5);
         assert_eq!(f.update.tag, Some(c(0.4)));
-        let f_a = d.on_repo_update(&g, a, f.update);
+        let f_a = d.on_repo_update(a, f.update);
         assert_eq!(f_a.to, vec![b]);
     }
 }

@@ -76,16 +76,42 @@ pub struct Forwarding {
 #[derive(Debug, Clone)]
 pub struct Disseminator {
     protocol: Protocol,
-    /// `last_sent[item][node]`: last value this node *received* (for the
-    /// source: the last raw value). Because each node has exactly one
-    /// parent per item, the sender-side record of "last sent to q" equals
-    /// the receiver-side record of "last received by q"; storing it once,
-    /// receiver-indexed, keeps the state linear in nodes.
-    last_received: Vec<Vec<f64>>,
+    /// Last value each node *received* per item (for the source: the last
+    /// raw value), as a flat row-major `[item][node]` array — one
+    /// contiguous `f64` row per item, indexed by [`Self::last`] /
+    /// [`Self::set_last`]. Because each node has exactly one parent per
+    /// item, the sender-side record of "last sent to q" equals the
+    /// receiver-side record of "last received by q"; storing it once,
+    /// receiver-indexed, keeps the state linear in nodes. The flat SoA
+    /// layout removes a pointer chase from every source/repo filter check
+    /// and is what a vectorized deviation scan will iterate over.
+    last_received: Vec<f64>,
     /// Centralized-only: per item, the sorted list of unique tolerances
     /// present in the d3g with the last value disseminated for each.
     source_lists: Vec<Vec<(Coherency, f64)>>,
     n_items: usize,
+    /// Row stride of `last_received`.
+    n_nodes: usize,
+    /// CSR forwarding table compiled from the d3g at construction:
+    /// `children[row_start[r]..row_start[r + 1]]` are the dependents of
+    /// row `r = item * n_nodes + node`, each stored with its effective
+    /// coherency, so a forwarding decision streams through two parallel
+    /// flat arrays instead of chasing the d3g's nested `Vec`s and
+    /// re-deriving `effective()` per event.
+    row_start: Vec<u32>,
+    children: Vec<Child>,
+    /// Effective coherency per `item * n_nodes + node` row (the node's own
+    /// requirement after tightening); `Coherency::EXACT` for the source
+    /// and for rows whose node does not hold the item (never read by the
+    /// protocols, which only walk edges the d3g created).
+    eff: Vec<Coherency>,
+}
+
+/// One compiled d3g edge: a dependent and its effective coherency.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Child {
+    pub(crate) node: NodeIdx,
+    pub(crate) c: Coherency,
 }
 
 impl Disseminator {
@@ -94,8 +120,29 @@ impl Disseminator {
     pub fn new(protocol: Protocol, d3g: &D3g, initial_values: &[f64]) -> Self {
         assert_eq!(initial_values.len(), d3g.n_items(), "one initial value per item");
         let n_items = d3g.n_items();
-        let last_received: Vec<Vec<f64>> =
-            (0..n_items).map(|i| vec![initial_values[i]; d3g.n_nodes()]).collect();
+        let n_nodes = d3g.n_nodes();
+        let mut last_received = Vec::with_capacity(n_items * n_nodes);
+        for &v in initial_values {
+            last_received.extend(std::iter::repeat_n(v, n_nodes));
+        }
+        let mut row_start = Vec::with_capacity(n_items * n_nodes + 1);
+        let mut children = Vec::new();
+        let mut eff = Vec::with_capacity(n_items * n_nodes);
+        row_start.push(0u32);
+        for i in 0..n_items {
+            let item = ItemId(i as u32);
+            for n in 0..n_nodes {
+                let node = NodeIdx(n as u32);
+                eff.push(d3g.effective(node, item).unwrap_or(Coherency::EXACT));
+                for &ch in d3g.children_of(node, item) {
+                    let c = d3g
+                        .effective(ch, item)
+                        .expect("child subscribed to an item it does not hold");
+                    children.push(Child { node: ch, c });
+                }
+                row_start.push(children.len() as u32);
+            }
+        }
         let source_lists = if protocol == Protocol::Centralized {
             (0..n_items)
                 .map(|i| {
@@ -111,7 +158,7 @@ impl Disseminator {
         } else {
             Vec::new()
         };
-        Self { protocol, last_received, source_lists, n_items }
+        Self { protocol, last_received, source_lists, n_items, n_nodes, row_start, children, eff }
     }
 
     /// The protocol in force.
@@ -119,73 +166,113 @@ impl Disseminator {
         self.protocol
     }
 
+    /// Indexed read into the flat `[item][node]` last-received array.
+    #[inline]
+    fn last(&self, item: ItemId, node: NodeIdx) -> f64 {
+        self.last_received[item.index() * self.n_nodes + node.index()]
+    }
+
+    /// Indexed write into the flat `[item][node]` last-received array.
+    #[inline]
+    fn set_last(&mut self, item: ItemId, node: NodeIdx, value: f64) {
+        self.last_received[item.index() * self.n_nodes + node.index()] = value;
+    }
+
+    /// One item's full last-received row (indexed by node) — the
+    /// contiguous slice a vectorized deviation check scans.
+    #[inline]
+    pub fn last_row(&self, item: ItemId) -> &[f64] {
+        let base = item.index() * self.n_nodes;
+        &self.last_received[base..base + self.n_nodes]
+    }
+
+    /// The compiled `(dependent, effective c)` row of `node` for `item`.
+    #[inline]
+    pub(super) fn children_row(&self, node: NodeIdx, item: ItemId) -> &[Child] {
+        let r = item.index() * self.n_nodes + node.index();
+        &self.children[self.row_start[r] as usize..self.row_start[r + 1] as usize]
+    }
+
+    /// The effective coherency `node` holds `item` at (EXACT for the
+    /// source).
+    #[inline]
+    fn eff_of(&self, node: NodeIdx, item: ItemId) -> Coherency {
+        self.eff[item.index() * self.n_nodes + node.index()]
+    }
+
     /// Handles a raw source tick: decides which of the source's dependents
-    /// receive the update.
-    pub fn on_source_update(&mut self, d3g: &D3g, item: ItemId, value: f64) -> Forwarding {
+    /// receive the update. Works entirely off the CSR snapshot compiled in
+    /// [`Disseminator::new`] — the d3g is not consulted after construction.
+    pub fn on_source_update(&mut self, item: ItemId, value: f64) -> Forwarding {
         match self.protocol {
-            Protocol::Centralized => self.centralized_source(d3g, item, value),
+            Protocol::Centralized => self.centralized_source(item, value),
             Protocol::Naive | Protocol::Distributed => {
-                self.last_received[item.index()][SOURCE.index()] = value;
-                self.per_child_filter(d3g, SOURCE, Update { item, value, tag: None })
+                self.set_last(item, SOURCE, value);
+                self.per_child_filter(SOURCE, Update { item, value, tag: None })
             }
             Protocol::FloodAll => {
-                self.last_received[item.index()][SOURCE.index()] = value;
-                self.flood(d3g, SOURCE, Update { item, value, tag: None })
+                self.set_last(item, SOURCE, value);
+                self.flood(SOURCE, Update { item, value, tag: None })
             }
         }
     }
 
     /// Handles an update arriving at repository `node`: records the new
-    /// local value and decides which dependents to forward to.
-    pub fn on_repo_update(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
+    /// local value and decides which dependents to forward to (off the
+    /// compiled CSR snapshot, like [`Disseminator::on_source_update`]).
+    pub fn on_repo_update(&mut self, node: NodeIdx, update: Update) -> Forwarding {
         assert!(!node.is_source(), "use on_source_update for the source");
-        self.last_received[update.item.index()][node.index()] = update.value;
+        self.set_last(update.item, node, update.value);
         match self.protocol {
-            Protocol::Centralized => centralized::forward(self, d3g, node, update),
-            Protocol::Naive | Protocol::Distributed => self.per_child_filter(d3g, node, update),
-            Protocol::FloodAll => self.flood(d3g, node, update),
+            Protocol::Centralized => centralized::forward(self, node, update),
+            Protocol::Naive | Protocol::Distributed => self.per_child_filter(node, update),
+            Protocol::FloodAll => self.flood(node, update),
         }
     }
 
     /// The last value `node` received for `item` (its current copy).
     pub fn value_at(&self, node: NodeIdx, item: ItemId) -> f64 {
-        self.last_received[item.index()][node.index()]
+        self.last(item, node)
     }
 
-    fn per_child_filter(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
-        let decide = match self.protocol {
-            Protocol::Naive => naive::should_forward,
-            Protocol::Distributed => distributed::should_forward,
+    fn per_child_filter(&mut self, node: NodeIdx, update: Update) -> Forwarding {
+        // Monomorphized per protocol so the filter inlines into the loop.
+        match self.protocol {
+            Protocol::Naive => self.filter_with(node, update, naive::should_forward),
+            Protocol::Distributed => self.filter_with(node, update, distributed::should_forward),
             _ => unreachable!("per_child_filter only serves naive/distributed"),
-        };
-        let c_self = if node.is_source() {
-            Coherency::EXACT
-        } else {
-            d3g.effective(node, update.item).expect("node received an item it does not hold")
-        };
+        }
+    }
+
+    #[inline]
+    fn filter_with(
+        &mut self,
+        node: NodeIdx,
+        update: Update,
+        decide: impl Fn(f64, f64, Coherency, Coherency) -> bool,
+    ) -> Forwarding {
+        let c_self = self.eff_of(node, update.item);
         let mut to = Vec::new();
         let mut checks = 0u64;
-        for &child in d3g.children_of(node, update.item) {
+        let last = self.last_row(update.item);
+        for child in self.children_row(node, update.item) {
             checks += 1;
-            let c_child = d3g
-                .effective(child, update.item)
-                .expect("child subscribed to an item it does not hold");
-            let last = self.last_received[update.item.index()][child.index()];
-            if decide(update.value, last, c_self, c_child) {
-                to.push(child);
+            if decide(update.value, last[child.node.index()], c_self, child.c) {
+                to.push(child.node);
             }
         }
         Forwarding { to, update, checks }
     }
 
-    fn flood(&mut self, d3g: &D3g, node: NodeIdx, update: Update) -> Forwarding {
-        let to: Vec<NodeIdx> = d3g.children_of(node, update.item).to_vec();
+    fn flood(&mut self, node: NodeIdx, update: Update) -> Forwarding {
+        let to: Vec<NodeIdx> =
+            self.children_row(node, update.item).iter().map(|c| c.node).collect();
         let checks = to.len() as u64;
         Forwarding { to, update, checks }
     }
 
-    fn centralized_source(&mut self, d3g: &D3g, item: ItemId, value: f64) -> Forwarding {
-        self.last_received[item.index()][SOURCE.index()] = value;
+    fn centralized_source(&mut self, item: ItemId, value: f64) -> Forwarding {
+        self.set_last(item, SOURCE, value);
         let (tag, checks) = centralized::tag_update(self, item, value);
         match tag {
             None => {
@@ -193,7 +280,7 @@ impl Disseminator {
             }
             Some(tag) => {
                 let update = Update { item, value, tag: Some(tag) };
-                let mut fwd = centralized::forward(self, d3g, SOURCE, update);
+                let mut fwd = centralized::forward(self, SOURCE, update);
                 fwd.checks += checks;
                 fwd
             }
@@ -216,13 +303,13 @@ impl Disseminator {
         let mut checks = 0u64;
         let mut on_violation: Vec<(ItemId, f64)> = Vec::new();
         for (item, value) in updates {
-            let fwd = self.on_source_update(d3g, item, value);
+            let fwd = self.on_source_update(item, value);
             checks += fwd.checks;
             let mut queue: Vec<(NodeIdx, Update)> =
                 fwd.to.iter().map(|&n| (n, fwd.update)).collect();
             while let Some((node, update)) = queue.pop() {
                 messages += 1;
-                let f = self.on_repo_update(d3g, node, update);
+                let f = self.on_repo_update(node, update);
                 checks += f.checks;
                 queue.extend(f.to.iter().map(|&n| (n, f.update)));
             }
@@ -305,16 +392,16 @@ mod tests {
         let (g, p, q) = figure4_graph();
         let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
         // 1.2: within 0.3 of 1.0 → P doesn't even get it.
-        let f = d.on_source_update(&g, ItemId(0), 1.2);
+        let f = d.on_source_update(ItemId(0), 1.2);
         assert!(f.to.is_empty());
         // 1.4: |1.4-1.0| > 0.3 → P gets it; P must forward to Q because
         // |1.4 - 1.0| = 0.4 > c_q - c_p = 0.2 (Eq. 7), even though Eq. 3
         // alone (0.4 > 0.5) would not fire.
-        let f = d.on_source_update(&g, ItemId(0), 1.4);
+        let f = d.on_source_update(ItemId(0), 1.4);
         assert_eq!(f.to, vec![p]);
-        let f = d.on_repo_update(&g, p, f.update);
+        let f = d.on_repo_update(p, f.update);
         assert_eq!(f.to, vec![q], "Eq.(7) must push 1.4 to Q");
-        let f = d.on_repo_update(&g, q, f.update);
+        let f = d.on_repo_update(q, f.update);
         assert!(f.to.is_empty());
         assert_eq!(d.value_at(q, ItemId(0)), 1.4);
     }
@@ -339,7 +426,7 @@ mod tests {
     fn flood_forwards_everything() {
         let (g, p, _q) = figure4_graph();
         let mut d = Disseminator::new(Protocol::FloodAll, &g, &[1.0]);
-        let f = d.on_source_update(&g, ItemId(0), 1.01);
+        let f = d.on_source_update(ItemId(0), 1.01);
         assert_eq!(f.to, vec![p], "flood ignores tolerances");
     }
 
@@ -348,10 +435,10 @@ mod tests {
         let (g, p, q) = figure4_graph();
         let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
         assert_eq!(d.value_at(q, ItemId(0)), 1.0);
-        let f = d.on_source_update(&g, ItemId(0), 2.0);
+        let f = d.on_source_update(ItemId(0), 2.0);
         assert_eq!(f.to, vec![p]);
-        let f = d.on_repo_update(&g, p, f.update);
-        let _ = d.on_repo_update(&g, q, f.update);
+        let f = d.on_repo_update(p, f.update);
+        let _ = d.on_repo_update(q, f.update);
         assert_eq!(d.value_at(p, ItemId(0)), 2.0);
         assert_eq!(d.value_at(q, ItemId(0)), 2.0);
     }

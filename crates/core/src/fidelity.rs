@@ -27,30 +27,42 @@ use crate::item::ItemId;
 use crate::overlay::NodeIdx;
 use crate::workload::Workload;
 
-/// One measured (repository, item) stream.
+/// Sentinel for "no open violation interval" (`u64::MAX` cannot start a
+/// real interval: an event at the far end of time closes with length 0
+/// either way).
+const NOT_VIOLATING: u64 = u64::MAX;
+
+/// One measured (repository, item) stream — 40 bytes, so a source tick's
+/// scan over an item's pairs streams through contiguous cache lines.
 #[derive(Debug, Clone)]
 struct PairState {
-    repo: usize,
+    repo: u32,
     item: u32,
     c: Coherency,
     repo_value: f64,
-    violation_started: Option<u64>,
+    /// Start of the open violation interval, or [`NOT_VIOLATING`].
+    violation_started: u64,
     violation_total_us: u64,
 }
 
 /// Exact interval-accounting fidelity tracker.
+///
+/// Layout is tuned for the engine's two hot calls: pairs are stored
+/// **item-major and contiguous** (`item_start` offsets), so a source tick
+/// walks one flat slice, and `pair_of` is a flat row-major `[repo][item]`
+/// index, so an arrival is a single lookup with no pointer chasing.
 #[derive(Debug, Clone)]
 pub struct FidelityTracker {
     n_repos: usize,
+    n_items: usize,
     /// Current source value per item.
     source_value: Vec<f64>,
+    /// All measured pairs, grouped by item (repos ascending within each).
     pairs: Vec<PairState>,
-    /// `pair_index[item]` → indices into `pairs` of every measured pair on
-    /// that item (touched on each source tick).
-    pairs_by_item: Vec<Vec<usize>>,
-    /// `pair_of[repo][item]` → index into `pairs`, `usize::MAX` if
-    /// unmeasured.
-    pair_of: Vec<Vec<usize>>,
+    /// `pairs[item_start[i]..item_start[i + 1]]` are item `i`'s pairs.
+    item_start: Vec<u32>,
+    /// Flat `[repo][item]` → index into `pairs`, `u32::MAX` if unmeasured.
+    pair_of: Vec<u32>,
     start_us: u64,
 }
 
@@ -60,45 +72,51 @@ impl FidelityTracker {
     pub fn new(workload: &Workload, initial_values: &[f64], start_us: u64) -> Self {
         assert_eq!(initial_values.len(), workload.n_items(), "one initial value per item");
         let n_items = workload.n_items();
+        let n_repos = workload.n_repos();
         let mut pairs = Vec::new();
-        let mut pairs_by_item = vec![Vec::new(); n_items];
-        let mut pair_of = vec![vec![usize::MAX; n_items]; workload.n_repos()];
-        for (repo, row) in pair_of.iter_mut().enumerate() {
-            for (item, c) in workload.items_of(repo) {
-                let idx = pairs.len();
-                pairs.push(PairState {
-                    repo,
-                    item: item.0,
-                    c,
-                    repo_value: initial_values[item.index()],
-                    violation_started: None,
-                    violation_total_us: 0,
-                });
-                pairs_by_item[item.index()].push(idx);
-                row[item.index()] = idx;
+        let mut item_start = Vec::with_capacity(n_items + 1);
+        let mut pair_of = vec![u32::MAX; n_repos * n_items];
+        let needs: Vec<Vec<(ItemId, Coherency)>> =
+            (0..n_repos).map(|r| workload.items_of(r).collect()).collect();
+        item_start.push(0);
+        for i in 0..n_items {
+            for (repo, need) in needs.iter().enumerate() {
+                // `items_of` yields ascending items; binary search keeps
+                // construction O(items · repos · log items).
+                if let Ok(k) = need.binary_search_by_key(&(i as u32), |(item, _)| item.0) {
+                    pair_of[repo * n_items + i] = pairs.len() as u32;
+                    pairs.push(PairState {
+                        repo: repo as u32,
+                        item: i as u32,
+                        c: need[k].1,
+                        repo_value: initial_values[i],
+                        violation_started: NOT_VIOLATING,
+                        violation_total_us: 0,
+                    });
+                }
             }
+            item_start.push(pairs.len() as u32);
         }
         Self {
-            n_repos: workload.n_repos(),
+            n_repos,
+            n_items,
             source_value: initial_values.to_vec(),
             pairs,
-            pairs_by_item,
+            item_start,
             pair_of,
             start_us,
         }
     }
 
     /// Records a new source value at time `at_us` (µs) and re-evaluates
-    /// every measured pair on the item.
+    /// every measured pair on the item — one contiguous slice scan.
     pub fn source_update(&mut self, at_us: u64, item: ItemId, value: f64) {
         self.source_value[item.index()] = value;
-        // Split borrows: the index list is read while pair states mutate.
-        let indices = std::mem::take(&mut self.pairs_by_item[item.index()]);
-        for &i in &indices {
-            let p = &mut self.pairs[i];
+        let lo = self.item_start[item.index()] as usize;
+        let hi = self.item_start[item.index() + 1] as usize;
+        for p in &mut self.pairs[lo..hi] {
             Self::transition(p, at_us, value);
         }
-        self.pairs_by_item[item.index()] = indices;
     }
 
     /// Records an update arriving at a repository at time `at_us` (µs).
@@ -106,25 +124,26 @@ impl FidelityTracker {
     pub fn repo_update(&mut self, at_us: u64, node: NodeIdx, item: ItemId, value: f64) {
         assert!(!node.is_source(), "the source has no measured pairs");
         let repo = node.index() - 1;
-        let idx = self.pair_of[repo][item.index()];
-        if idx == usize::MAX {
+        let idx = self.pair_of[repo * self.n_items + item.index()];
+        if idx == u32::MAX {
             return;
         }
         let sv = self.source_value[item.index()];
-        let p = &mut self.pairs[idx];
+        let p = &mut self.pairs[idx as usize];
         p.repo_value = value;
         Self::transition(p, at_us, sv);
     }
 
+    #[inline]
     fn transition(p: &mut PairState, at_us: u64, source_value: f64) {
         let violating_now = p.c.violated_by(source_value, p.repo_value);
-        match (p.violation_started, violating_now) {
-            (None, true) => p.violation_started = Some(at_us),
-            (Some(since), false) => {
-                p.violation_total_us += at_us - since;
-                p.violation_started = None;
+        if p.violation_started == NOT_VIOLATING {
+            if violating_now {
+                p.violation_started = at_us;
             }
-            _ => {}
+        } else if !violating_now {
+            p.violation_total_us += at_us - p.violation_started;
+            p.violation_started = NOT_VIOLATING;
         }
     }
 
@@ -134,8 +153,9 @@ impl FidelityTracker {
         assert!(end_us >= self.start_us, "end must not precede start");
         let duration_us = end_us - self.start_us;
         for p in &mut self.pairs {
-            if let Some(since) = p.violation_started.take() {
-                p.violation_total_us += end_us - since;
+            if p.violation_started != NOT_VIOLATING {
+                p.violation_total_us += end_us - p.violation_started;
+                p.violation_started = NOT_VIOLATING;
             }
         }
         let mut per_repo_loss = vec![0.0f64; self.n_repos];
@@ -147,10 +167,10 @@ impl FidelityTracker {
             } else {
                 0.0
             };
-            per_repo_loss[p.repo] += loss;
-            per_repo_n[p.repo] += 1;
+            per_repo_loss[p.repo as usize] += loss;
+            per_repo_n[p.repo as usize] += 1;
             pair_losses.push(PairLoss {
-                repo: p.repo,
+                repo: p.repo as usize,
                 item: ItemId(p.item),
                 coherency: p.c,
                 loss_pct: loss,

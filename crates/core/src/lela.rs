@@ -180,6 +180,13 @@ impl DelayMicros {
         self.us[a.index() * self.n + b.index()]
     }
 
+    /// All one-way delays out of `a`, indexed by destination — lets a
+    /// sender's fan-out loop hoist the row lookup.
+    #[inline]
+    pub fn row(&self, a: NodeIdx) -> &[u64] {
+        &self.us[a.index() * self.n..(a.index() + 1) * self.n]
+    }
+
     /// Number of overlay nodes covered.
     pub fn len(&self) -> usize {
         self.n

@@ -6,7 +6,16 @@
 //! repro all --paper               # the full 10 000-tick horizon
 //! repro fig3 --ticks 1000         # custom horizon
 //! repro all --serial              # disable the parallel fan-out
+//! repro all --queue heap          # schedule on the heap fallback
+//! repro smoke                     # one timed run, machine-readable line
 //! repro list                      # enumerate experiment ids
+//! ```
+//!
+//! `smoke` runs a single base-config cell at the requested scale and
+//! prints one machine-readable line CI tracks across PRs:
+//!
+//! ```text
+//! SMOKE queue=calendar events=243210 wall_us=181034 events_per_sec=1343448
 //! ```
 //!
 //! Requested experiments fan out over the parallel sweep runner
@@ -21,6 +30,7 @@ use d3t_experiments::{
     ablations, baseline, controlled, filtering, lela_params, nocoop, protocols, pullpush,
     scalability, sweep, table1, Scale,
 };
+use d3t_sim::QueueBackend;
 
 const IDS: &[&str] = &[
     "table1",
@@ -65,17 +75,48 @@ fn render(id: &str, scale: &Scale) -> String {
     }
 }
 
+/// One timed base-config run; the single line CI greps for event-loop
+/// throughput tracking.
+fn smoke(scale: &Scale) {
+    let cfg = scale.base_config();
+    let prepared = d3t_sim::Prepared::build(&cfg);
+    let start = Instant::now();
+    let report = prepared.run();
+    let wall_us = start.elapsed().as_micros().max(1) as u64;
+    let events = report.metrics.events;
+    let events_per_sec = (events as f64 / (wall_us as f64 / 1e6)).round() as u64;
+    let queue = match cfg.queue {
+        QueueBackend::Calendar => "calendar",
+        QueueBackend::Heap => "heap",
+    };
+    println!(
+        "SMOKE queue={queue} events={events} wall_us={wall_us} events_per_sec={events_per_sec}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
     let mut serial = false;
+    let mut run_smoke = false;
+    let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--paper" => scale = Scale::paper(),
             "--tiny" => scale = Scale::tiny(),
             "--serial" => serial = true,
+            "--heap" => queue = Some(QueueBackend::Heap),
+            "--queue" => {
+                let v = iter.next().expect("--queue needs `calendar` or `heap`");
+                queue = Some(match v.as_str() {
+                    "calendar" => QueueBackend::Calendar,
+                    "heap" => QueueBackend::Heap,
+                    other => panic!("unknown queue backend `{other}`"),
+                });
+            }
+            "smoke" => run_smoke = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -97,6 +138,19 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(q) = queue {
+        scale.queue = q;
+    }
+    if run_smoke {
+        if !wanted.is_empty() {
+            eprintln!(
+                "`smoke` runs a single timed cell and cannot be combined with experiment ids"
+            );
+            std::process::exit(2);
+        }
+        smoke(&scale);
+        return;
     }
     if wanted.is_empty() {
         wanted.extend(IDS.iter().map(|s| s.to_string()));

@@ -1,7 +1,7 @@
 //! Experiment scale presets.
 
 use d3t_net::NetworkConfig;
-use d3t_sim::SimConfig;
+use d3t_sim::{QueueBackend, SimConfig};
 
 /// How big an experiment to run. The paper's full scale is the default for
 /// published numbers; `quick` keeps every shape with a shorter horizon;
@@ -18,12 +18,22 @@ pub struct Scale {
     pub n_network_nodes: usize,
     /// Master seed shared by all experiments at this scale.
     pub seed: u64,
+    /// Scheduler backend every experiment cell runs with (`repro --queue
+    /// heap` forces the fallback; results are backend independent).
+    pub queue: QueueBackend,
 }
 
 impl Scale {
     /// The paper's base configuration.
     pub fn paper() -> Self {
-        Self { n_repos: 100, n_items: 100, n_ticks: 10_000, n_network_nodes: 700, seed: 0x5EED }
+        Self {
+            n_repos: 100,
+            n_items: 100,
+            n_ticks: 10_000,
+            n_network_nodes: 700,
+            seed: 0x5EED,
+            queue: QueueBackend::default(),
+        }
     }
 
     /// Full topology and workload, shorter observation window. Shapes are
@@ -34,7 +44,7 @@ impl Scale {
 
     /// Miniature scale for tests and benches.
     pub fn tiny() -> Self {
-        Self { n_repos: 20, n_items: 10, n_ticks: 400, n_network_nodes: 140, seed: 0x5EED }
+        Self { n_repos: 20, n_items: 10, n_ticks: 400, n_network_nodes: 140, ..Self::paper() }
     }
 
     /// A [`SimConfig`] at this scale with the paper's defaults everywhere
@@ -50,6 +60,7 @@ impl Scale {
                 ..NetworkConfig::default()
             },
             seed: self.seed,
+            queue: self.queue,
             ..SimConfig::default()
         }
     }

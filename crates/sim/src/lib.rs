@@ -30,12 +30,14 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod prepared;
+pub mod queue;
 pub mod report;
 
 pub use config::{SimConfig, TreeStrategy};
 pub use engine::Engine;
 pub use metrics::Metrics;
 pub use prepared::Prepared;
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use report::RunReport;
 
 /// Prepares and runs a complete simulation from a configuration.

@@ -21,6 +21,10 @@ pub struct Metrics {
     /// Messages whose arrival fell past the simulation horizon and were
     /// therefore never delivered (they still count as `messages`).
     pub undelivered: u64,
+    /// Events processed by the engine's scheduler (source changes plus
+    /// delivered arrivals) — the denominator of the event-loop throughput
+    /// number the CI smoke run tracks.
+    pub events: u64,
 }
 
 impl Metrics {

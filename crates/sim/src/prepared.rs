@@ -10,7 +10,8 @@ use d3t_net::PhysicalNetwork;
 use d3t_traces::{generate_ensemble, EnsembleConfig, Trace};
 
 use crate::config::{SimConfig, TreeStrategy};
-use crate::engine::{Engine, SourceChange};
+use crate::engine::{Engine, EventKind, SourceChange};
+use crate::queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 use crate::report::RunReport;
 
 /// A fully materialized experiment: all inputs generated, overlay built,
@@ -77,11 +78,22 @@ impl Prepared {
         }
     }
 
-    /// Runs the dissemination simulation and gathers the report.
+    /// Runs the dissemination simulation and gathers the report, using the
+    /// scheduler backend the configuration selects. Reports are backend
+    /// independent (bit-identical) by construction.
     pub fn run(&self) -> RunReport {
+        match self.cfg.queue {
+            QueueBackend::Calendar => self.run_with::<CalendarQueue<EventKind>>(),
+            QueueBackend::Heap => self.run_with::<HeapQueue<EventKind>>(),
+        }
+    }
+
+    /// [`Prepared::run`] with an explicit scheduler implementation (any
+    /// [`EventQueue`], including instrumented wrappers in benches/tests).
+    pub fn run_with<Q: EventQueue<EventKind>>(&self) -> RunReport {
         use d3t_core::lela::OverlayDelays;
         let disseminator = Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
-        let engine = Engine::new(
+        let engine = Engine::<Q>::with_queue(
             &self.d3g,
             &self.workload,
             &self.delays,
@@ -180,6 +192,30 @@ mod tests {
         let a = Prepared::build(&cfg).run();
         let b = Prepared::build(&cfg).run();
         assert_eq!(a, b);
+    }
+
+    /// Randomized d3gs (seeded configs across protocols and shapes) must
+    /// yield bit-identical `(FidelityReport, Metrics)` whichever scheduler
+    /// backend runs the event loop.
+    #[test]
+    fn queue_backends_produce_bit_identical_reports() {
+        for (i, protocol) in
+            [Protocol::Distributed, Protocol::Centralized, Protocol::Naive].iter().enumerate()
+        {
+            for seed in [0x5EEDu64, 97, 31_337] {
+                let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+                cfg.protocol = *protocol;
+                cfg.seed = seed;
+                cfg.coop_res = 1 + i * 3;
+                let p = Prepared::build(&cfg);
+                let cal = p.run_with::<CalendarQueue<EventKind>>();
+                let heap = p.run_with::<HeapQueue<EventKind>>();
+                assert_eq!(cal, heap, "seed {seed} protocol {protocol:?} diverged");
+                // PartialEq covers every field; pin the formatted repr too
+                // so float bit-pattern changes cannot hide.
+                assert_eq!(format!("{cal:?}"), format!("{heap:?}"));
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::model::PriceModel;
@@ -110,21 +111,63 @@ impl EnsembleConfig {
     }
 }
 
+/// Per-item generation inputs, drawn serially from the meta RNG so the
+/// parallel fan-out below cannot perturb the random stream.
+#[derive(Debug, Clone, Copy)]
+struct ItemParams {
+    start: f64,
+    change_prob: f64,
+    step_std: f64,
+    item_seed: u64,
+}
+
+/// Draws every item's parameters in item order — the *only* consumer of
+/// the meta RNG, so serial and parallel generation see identical seeds.
+fn draw_item_params(cfg: &EnsembleConfig, seed: u64) -> Vec<ItemParams> {
+    let mut meta_rng = StdRng::seed_from_u64(seed);
+    (0..cfg.n_items)
+        .map(|_| ItemParams {
+            start: sample_range(&mut meta_rng, cfg.start_price_range),
+            change_prob: sample_range(&mut meta_rng, cfg.change_prob_range),
+            step_std: sample_range(&mut meta_rng, cfg.step_std_range),
+            item_seed: meta_rng.gen::<u64>(),
+        })
+        .collect()
+}
+
+fn generate_item(cfg: &EnsembleConfig, i: usize, p: ItemParams) -> Trace {
+    TraceGenerator::new(
+        PriceModel::sparse_random_walk(p.change_prob, p.step_std),
+        p.start,
+        cfg.poll_interval_ms,
+    )
+    .with_name(format!("ITEM-{i}"))
+    .generate(cfg.n_ticks, p.item_seed)
+}
+
 /// Generates `cfg.n_items` traces deterministically from `seed`. Item `i`
 /// is named `ITEM-i` and derives its own sub-seed, so regenerating the
 /// ensemble with a different `n_items` leaves earlier items unchanged.
+///
+/// Parameter draws are serial (one shared RNG stream); the expensive
+/// per-item tick generation fans out over the thread pool with
+/// order-preserving collection, so the output is **byte-identical** to
+/// [`generate_ensemble_serial`] at any thread count (`RAYON_NUM_THREADS`
+/// bounds the pool) — the same guarantee style as the experiment sweep
+/// runner.
 pub fn generate_ensemble(cfg: &EnsembleConfig, seed: u64) -> Vec<Trace> {
-    let mut meta_rng = StdRng::seed_from_u64(seed);
-    (0..cfg.n_items)
-        .map(|i| {
-            let start = sample_range(&mut meta_rng, cfg.start_price_range);
-            let p = sample_range(&mut meta_rng, cfg.change_prob_range);
-            let s = sample_range(&mut meta_rng, cfg.step_std_range);
-            let item_seed = meta_rng.gen::<u64>();
-            TraceGenerator::new(PriceModel::sparse_random_walk(p, s), start, cfg.poll_interval_ms)
-                .with_name(format!("ITEM-{i}"))
-                .generate(cfg.n_ticks, item_seed)
-        })
+    let indexed: Vec<(usize, ItemParams)> =
+        draw_item_params(cfg, seed).into_iter().enumerate().collect();
+    indexed.into_par_iter().map(|(i, p)| generate_item(cfg, i, p)).collect()
+}
+
+/// The serial reference path (kept public so the bit-identity tests and
+/// benches can compare against it).
+pub fn generate_ensemble_serial(cfg: &EnsembleConfig, seed: u64) -> Vec<Trace> {
+    draw_item_params(cfg, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| generate_item(cfg, i, p))
         .collect()
 }
 
@@ -186,6 +229,33 @@ mod tests {
     fn ensemble_is_deterministic() {
         let cfg = EnsembleConfig::small(5, 100);
         assert_eq!(generate_ensemble(&cfg, 9), generate_ensemble(&cfg, 9));
+    }
+
+    /// The headline sharding guarantee: the parallel ensemble equals the
+    /// serial reference byte for byte.
+    #[test]
+    fn parallel_ensemble_is_byte_identical_to_serial() {
+        let cfg = EnsembleConfig::small(13, 300);
+        let par = generate_ensemble(&cfg, 42);
+        let ser = generate_ensemble_serial(&cfg, 42);
+        assert_eq!(par.len(), ser.len());
+        for (i, (p, s)) in par.iter().zip(&ser).enumerate() {
+            assert_eq!(p, s, "item {i} diverged");
+            // PartialEq covers every tick; also pin the formatted
+            // representation so float bit-pattern changes cannot hide.
+            assert_eq!(format!("{p:?}"), format!("{s:?}"), "item {i} repr diverged");
+        }
+    }
+
+    /// Forcing any pool width must not change the ensemble either.
+    #[test]
+    fn ensemble_is_thread_count_invariant() {
+        let cfg = EnsembleConfig::small(9, 200);
+        let baseline = generate_ensemble_serial(&cfg, 7);
+        for width in [1usize, 2, 5] {
+            let pinned = rayon::with_num_threads(width, || generate_ensemble(&cfg, 7));
+            assert_eq!(baseline, pinned, "width {width} diverged");
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod profiles;
 pub mod stats;
 pub mod trace;
 
-pub use generator::{generate_ensemble, EnsembleConfig, TraceGenerator};
+pub use generator::{generate_ensemble, generate_ensemble_serial, EnsembleConfig, TraceGenerator};
 pub use model::PriceModel;
 pub use profiles::{table1_profiles, TraceProfile};
 pub use stats::TraceStats;

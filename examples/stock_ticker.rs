@@ -46,11 +46,11 @@ fn main() {
         let item = ItemId(i as u32);
         for tick in trace.changes().iter().skip(1) {
             changes_per_item[i] += 1;
-            let fwd = d.on_source_update(&g, item, tick.value);
+            let fwd = d.on_source_update(item, tick.value);
             let mut queue: Vec<(NodeIdx, _)> = fwd.to.iter().map(|&n| (n, fwd.update)).collect();
             while let Some((node, update)) = queue.pop() {
                 received[i][node.index() - 1] += 1;
-                let f = d.on_repo_update(&g, node, update);
+                let f = d.on_repo_update(node, update);
                 queue.extend(f.to.iter().map(|&n| (n, f.update)));
             }
         }
