@@ -23,5 +23,9 @@ cargo run --release -p d3t-experiments --bin repro -- fig4 --tiny > /dev/null
 for queue in calendar heap; do
     cargo run --release -q -p d3t-experiments --bin repro -- smoke --queue "$queue"
 done
+# One failure-burst dynamics run; the DYNAMICS line is machine-readable
+# (static vs churn loss, arrivals dropped) and the grep fails CI if the
+# experiment stops emitting it.
+cargo run --release -q -p d3t-experiments --bin repro -- dynamics --tiny | grep -o 'DYNAMICS .*'
 
 echo "CI green."

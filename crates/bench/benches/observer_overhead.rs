@@ -1,0 +1,102 @@
+//! Cost of the Session redesign at the `engine_throughput` scale.
+//!
+//! Three whole runs over one `Prepared` (600 repositories, 100 items,
+//! 10 000-tick traces — PR 2's engine-throughput configuration):
+//!
+//! * **engine** — the frozen reference `Engine::run` loop (the PR 2
+//!   baseline, kept verbatim);
+//! * **session/noop** — `Session::run_to_end` with the [`NoopObserver`];
+//!   the observer is a type parameter, so this must monomorphize to the
+//!   reference loop: the bench **asserts** the best-of-N wall clock stays
+//!   within 2% of the engine's;
+//! * **session/windowed** — the [`WindowedFidelity`] time-series
+//!   observer, to show what a real observer costs (it pays only on
+//!   violation transitions, so it should also be near-free).
+//!
+//! All three paths' `(FidelityReport, Metrics)` are asserted identical
+//! before anything is timed.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use d3t_sim::{CalendarQueue, EventKind, NoopObserver, Prepared, SimConfig, WindowedFidelity};
+
+type Cal = CalendarQueue<EventKind>;
+
+fn best_of<F: FnMut() -> std::time::Duration>(reps: usize, mut run: F) -> f64 {
+    (0..reps).map(|_| run().as_secs_f64()).fold(f64::INFINITY, f64::min)
+}
+
+fn observer_overhead(c: &mut Criterion) {
+    let prepared = Prepared::build(&SimConfig::small_for_tests(600, 100, 10_000, 50.0));
+    let windowed = || WindowedFidelity::new(prepared.end_us / 50 + 1, prepared.n_measured_pairs());
+
+    // Correctness before timing: every path agrees bit-for-bit.
+    let sealed = prepared.engine::<Cal>().run();
+    assert_eq!(prepared.session_with::<Cal, _>(NoopObserver).run_to_end(), sealed);
+    let (rep, metrics, obs) = prepared.session_with::<Cal, _>(windowed()).finish();
+    assert_eq!((rep, metrics), sealed, "windowed observer must not perturb the run");
+    assert!(!obs.windows().is_empty());
+
+    // Interleaved best-of-N timings (min is the right statistic for a
+    // deterministic workload: every deviation from the floor is noise).
+    const REPS: usize = 3;
+    let engine_s = best_of(REPS, || {
+        let e = prepared.engine::<Cal>();
+        let t = Instant::now();
+        black_box(e.run());
+        t.elapsed()
+    });
+    let noop_s = best_of(REPS, || {
+        let s = prepared.session_with::<Cal, _>(NoopObserver);
+        let t = Instant::now();
+        black_box(s.run_to_end());
+        t.elapsed()
+    });
+    let windowed_s = best_of(REPS, || {
+        let s = prepared.session_with::<Cal, _>(windowed());
+        let t = Instant::now();
+        black_box(s.finish());
+        t.elapsed()
+    });
+
+    let events = sealed.1.events as f64;
+    println!(
+        "observer_overhead/600r_100i_10kt: engine {engine_s:.3}s ({:.2} M ev/s) | \
+         session+noop {noop_s:.3}s ({:+.2}%) | session+windowed {windowed_s:.3}s ({:+.2}%)",
+        events / engine_s / 1e6,
+        (noop_s / engine_s - 1.0) * 100.0,
+        (windowed_s / engine_s - 1.0) * 100.0,
+    );
+    assert!(
+        noop_s <= engine_s * 1.02,
+        "no-op-observer session must stay within 2% of the reference engine \
+         (engine {engine_s:.3}s, session {noop_s:.3}s = {:+.2}%)",
+        (noop_s / engine_s - 1.0) * 100.0
+    );
+
+    let mut group = c.benchmark_group("observer_overhead/600r_100i_10kt");
+    group.sample_size(3).measurement_time(std::time::Duration::from_millis(1));
+    group.bench_function("engine", |b| b.iter(|| black_box(prepared.engine::<Cal>().run())));
+    group.bench_function("session_noop", |b| {
+        b.iter(|| black_box(prepared.session_with::<Cal, _>(NoopObserver).run_to_end()));
+    });
+    group.bench_function("session_windowed", |b| {
+        b.iter(|| black_box(prepared.session_with::<Cal, _>(windowed()).finish().1));
+    });
+    group.finish();
+}
+
+fn config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(3)
+        .warm_up_time(std::time::Duration::from_millis(1))
+        .measurement_time(std::time::Duration::from_millis(1))
+}
+
+criterion::criterion_group! {
+    name = benches;
+    config = config();
+    targets = observer_overhead
+}
+criterion::criterion_main!(benches);

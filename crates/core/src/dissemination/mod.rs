@@ -105,7 +105,19 @@ pub struct Disseminator {
     /// and for rows whose node does not hold the item (never read by the
     /// protocols, which only walk edges the d3g created).
     eff: Vec<Coherency>,
+    /// Parent per `item * n_nodes + node` row ([`NO_PARENT`] for the
+    /// source and for nodes not holding the item). Every holder has
+    /// exactly one parent per item, so this doubles as the holds-item
+    /// mask; it is what lets [`Disseminator::renegotiate`] patch the CSR
+    /// in place instead of recompiling the d3g.
+    parent: Vec<u32>,
+    /// Fail-stop state per node: an inactive repository neither records
+    /// nor forwards updates (see [`Disseminator::set_node_active`]).
+    active: Vec<bool>,
 }
+
+/// `parent` sentinel: the row's node has no dissemination parent.
+const NO_PARENT: u32 = u32::MAX;
 
 /// One compiled d3g edge: a dependent and its effective coherency.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +140,7 @@ impl Disseminator {
         let mut row_start = Vec::with_capacity(n_items * n_nodes + 1);
         let mut children = Vec::new();
         let mut eff = Vec::with_capacity(n_items * n_nodes);
+        let mut parent = vec![NO_PARENT; n_items * n_nodes];
         row_start.push(0u32);
         for i in 0..n_items {
             let item = ItemId(i as u32);
@@ -138,6 +151,7 @@ impl Disseminator {
                     let c = d3g
                         .effective(ch, item)
                         .expect("child subscribed to an item it does not hold");
+                    parent[i * n_nodes + ch.index()] = node.0;
                     children.push(Child { node: ch, c });
                 }
                 row_start.push(children.len() as u32);
@@ -158,7 +172,18 @@ impl Disseminator {
         } else {
             Vec::new()
         };
-        Self { protocol, last_received, source_lists, n_items, n_nodes, row_start, children, eff }
+        Self {
+            protocol,
+            last_received,
+            source_lists,
+            n_items,
+            n_nodes,
+            row_start,
+            children,
+            eff,
+            parent,
+            active: vec![true; n_nodes],
+        }
     }
 
     /// The protocol in force.
@@ -222,6 +247,13 @@ impl Disseminator {
     /// compiled CSR snapshot, like [`Disseminator::on_source_update`]).
     pub fn on_repo_update(&mut self, node: NodeIdx, update: Update) -> Forwarding {
         assert!(!node.is_source(), "use on_source_update for the source");
+        if !self.active[node.index()] {
+            // Fail-stop: a crashed repository neither records the value
+            // nor forwards it. Its parent's record of "last sent" stays
+            // stale, so the parent keeps retrying on later changes —
+            // recovery is automatic once a delivery lands.
+            return Forwarding { to: Vec::new(), update, checks: 0 };
+        }
         self.set_last(update.item, node, update.value);
         match self.protocol {
             Protocol::Centralized => centralized::forward(self, node, update),
@@ -326,9 +358,158 @@ impl Disseminator {
         ZeroDelayOutcome { messages, checks, violations: on_violation }
     }
 
+    /// Marks a repository failed (`active = false`) or recovered
+    /// (`active = true`) — the CSR row-disable mutation entry point.
+    ///
+    /// While inactive, [`Disseminator::on_repo_update`] is a no-op for the
+    /// node: it records nothing and forwards to nobody, so its whole
+    /// subtree starves (fail-stop semantics). Recovery needs no explicit
+    /// resynchronization from the caller:
+    ///
+    /// * under the naive/distributed protocols senders are oblivious —
+    ///   their per-dependent state is receiver-indexed and only advances
+    ///   on actual deliveries, so the next violating source change is
+    ///   retried and its delivery restores coherency;
+    /// * under the centralized protocol the class-indexed `last_sent`
+    ///   *does* advance while the node is down (the source cannot know a
+    ///   class member missed the send), so recovery marks the node's
+    ///   tolerance classes stale with its actual (pre-failure) copies —
+    ///   the next source change then re-violates those classes and the
+    ///   resend flows down to the recovered node.
+    pub fn set_node_active(&mut self, node: NodeIdx, active: bool) {
+        assert!(!node.is_source(), "the source cannot fail");
+        let was_active = self.active[node.index()];
+        self.active[node.index()] = active;
+        if active && !was_active && self.protocol == Protocol::Centralized {
+            self.resync_centralized(node);
+        }
+    }
+
+    /// Restores the tolerance-class invariant for every item the
+    /// recovering node holds (its stale copies drag the affected classes'
+    /// `last_sent` back, so tagging re-violates on the next change; at
+    /// worst this re-sends to class members that were already fresh).
+    fn resync_centralized(&mut self, node: NodeIdx) {
+        for i in 0..self.n_items {
+            if self.parent[i * self.n_nodes + node.index()] != NO_PARENT {
+                self.rebuild_source_list(ItemId(i as u32));
+            }
+        }
+    }
+
+    /// Whether the node currently participates in dissemination.
+    pub fn is_active(&self, node: NodeIdx) -> bool {
+        self.active[node.index()]
+    }
+
+    /// Renegotiates the *user* tolerance `node` holds `item` at — the CSR
+    /// row-patch mutation entry point. Returns the node's new effective
+    /// coherency.
+    ///
+    /// The effective coherency is re-derived as `user_c` tightened by
+    /// every dependent the node keeps relaying for, then the sender-side
+    /// CSR entry in the parent's row is patched in place. Tightening
+    /// propagates **up** the parent chain so Eq. (1) (`c_parent ≤
+    /// c_child` on every edge) keeps holding; loosening never relaxes
+    /// ancestors (they stay conservatively tight, which costs messages
+    /// but can never miss an update). Under the centralized protocol the
+    /// source's unique-tolerance list is rebuilt: persisting tolerance
+    /// classes keep their last-disseminated value, new classes start at
+    /// the source's current value (renegotiation is prospective — it
+    /// filters from "now", it does not replay history).
+    ///
+    /// # Panics
+    /// Panics for the source or for a node that does not hold the item.
+    pub fn renegotiate(&mut self, node: NodeIdx, item: ItemId, user_c: Coherency) -> Coherency {
+        assert!(!node.is_source(), "the source's coherency is not negotiable");
+        let base = item.index() * self.n_nodes;
+        assert!(
+            self.parent[base + node.index()] != NO_PARENT,
+            "{node} does not hold {item:?}; only held items can be renegotiated"
+        );
+        let mut new_eff = user_c;
+        for ch in self.children_row(node, item) {
+            new_eff = new_eff.tighten(ch.c);
+        }
+        self.eff[base + node.index()] = new_eff;
+        // Walk up: patch this node's entry in its parent's row, and keep
+        // tightening ancestors while the child is now more stringent.
+        let mut child = node;
+        let c = new_eff;
+        loop {
+            let parent = self.parent[base + child.index()];
+            if parent == NO_PARENT {
+                break;
+            }
+            let pr = base + parent as usize;
+            let (lo, hi) = (self.row_start[pr] as usize, self.row_start[pr + 1] as usize);
+            for e in &mut self.children[lo..hi] {
+                if e.node == child {
+                    e.c = c;
+                    break;
+                }
+            }
+            if NodeIdx(parent).is_source() || c >= self.eff[pr] {
+                break;
+            }
+            self.eff[pr] = c;
+            child = NodeIdx(parent);
+        }
+        if self.protocol == Protocol::Centralized {
+            self.rebuild_source_list(item);
+        }
+        new_eff
+    }
+
+    /// Recomputes the centralized source's unique-tolerance list for
+    /// `item` from the current effective coherencies. Each class's
+    /// `last_sent` is set to its **stalest member's** actual copy — the
+    /// invariant static operation maintains implicitly ("every member
+    /// holds at least the class's last value"), re-established here after
+    /// a mutation broke it. Anything else can strand a member: seeding a
+    /// new class from the source's own value, or letting a renegotiated
+    /// node join an existing class with a fresher `last_sent`, leaves the
+    /// stale member violating while a slowly drifting source never
+    /// re-tags the class. The reset can only make tagging fire *earlier*
+    /// (a duplicate send to fresh members), never miss an update.
+    fn rebuild_source_list(&mut self, item: ItemId) {
+        let src_val = self.last(item, SOURCE);
+        let base = item.index() * self.n_nodes;
+        let mut cs: Vec<Coherency> = (1..self.n_nodes)
+            .filter(|&n| self.parent[base + n] != NO_PARENT)
+            .map(|n| self.eff[base + n])
+            .collect();
+        cs.sort();
+        cs.dedup();
+        let list = cs
+            .into_iter()
+            .map(|c| {
+                let mut last = src_val;
+                let mut worst_drift = -1.0f64;
+                for n in 1..self.n_nodes {
+                    if self.parent[base + n] != NO_PARENT && self.eff[base + n] == c {
+                        let copy = self.last_received[base + n];
+                        let drift = (src_val - copy).abs();
+                        if drift > worst_drift {
+                            worst_drift = drift;
+                            last = copy;
+                        }
+                    }
+                }
+                (c, last)
+            })
+            .collect();
+        self.source_lists[item.index()] = list;
+    }
+
     /// Number of items covered.
     pub fn n_items(&self) -> usize {
         self.n_items
+    }
+
+    /// Number of overlay nodes (source + repositories).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
     }
 
     pub(crate) fn source_list_mut(&mut self, item: ItemId) -> &mut Vec<(Coherency, f64)> {
@@ -428,6 +609,129 @@ mod tests {
         let mut d = Disseminator::new(Protocol::FloodAll, &g, &[1.0]);
         let f = d.on_source_update(ItemId(0), 1.01);
         assert_eq!(f.to, vec![p], "flood ignores tolerances");
+    }
+
+    #[test]
+    fn failed_node_records_and_forwards_nothing() {
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        d.set_node_active(p, false);
+        assert!(!d.is_active(p));
+        let f = d.on_source_update(ItemId(0), 2.0);
+        assert_eq!(f.to, vec![p], "senders are oblivious to the failure");
+        let f = d.on_repo_update(p, f.update);
+        assert!(f.to.is_empty(), "a failed node must not forward");
+        assert_eq!(f.checks, 0);
+        assert_eq!(d.value_at(p, ItemId(0)), 1.0, "a failed node must not record");
+        // Recovery: the next violating change flows through again because
+        // the sender-side record never advanced.
+        d.set_node_active(p, true);
+        let f = d.on_source_update(ItemId(0), 3.0);
+        assert_eq!(f.to, vec![p]);
+        let f = d.on_repo_update(p, f.update);
+        assert_eq!(f.to, vec![q]);
+        assert_eq!(d.value_at(p, ItemId(0)), 3.0);
+    }
+
+    #[test]
+    fn renegotiate_tightening_propagates_up_the_chain() {
+        // S → P (0.3) → Q (0.5); tightening Q to 0.1 must tighten P too
+        // (Eq. 1: the parent serves the child at least as stringently).
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let eff = d.renegotiate(q, ItemId(0), c(0.1));
+        assert_eq!(eff, c(0.1));
+        assert_eq!(d.eff_of(q, ItemId(0)), c(0.1));
+        assert_eq!(d.eff_of(p, ItemId(0)), c(0.1), "ancestor tightened");
+        let row = d.children_row(p, ItemId(0));
+        assert_eq!((row[0].node, row[0].c), (q, c(0.1)), "CSR entry patched");
+        let row = d.children_row(SOURCE, ItemId(0));
+        assert_eq!((row[0].node, row[0].c), (p, c(0.1)), "source row patched");
+        // A 0.2 drift now violates Q's tightened requirement end to end.
+        let f = d.on_source_update(ItemId(0), 1.2);
+        assert_eq!(f.to, vec![p]);
+        let f = d.on_repo_update(p, f.update);
+        assert_eq!(f.to, vec![q]);
+    }
+
+    #[test]
+    fn renegotiate_loosening_never_relaxes_ancestors_or_relayed_children() {
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        // Loosen Q: P keeps its own 0.3 (never relaxed), Q's entry patched.
+        let eff = d.renegotiate(q, ItemId(0), c(0.9));
+        assert_eq!(eff, c(0.9));
+        assert_eq!(d.eff_of(p, ItemId(0)), c(0.3));
+        assert_eq!(d.children_row(p, ItemId(0))[0].c, c(0.9));
+        // Loosen P above its child: the relay obligation keeps it at 0.9.
+        let eff = d.renegotiate(p, ItemId(0), c(2.0));
+        assert_eq!(eff, c(0.9), "eff = tighten(user 2.0, child 0.9)");
+        assert_eq!(d.children_row(SOURCE, ItemId(0))[0].c, c(0.9));
+    }
+
+    /// Star: S → A (0.1), S → B (0.4), centralized.
+    fn centralized_star() -> (D3g, NodeIdx, NodeIdx) {
+        let mut g = D3g::new(2, 1);
+        let (a, b) = (NodeIdx::repo(0), NodeIdx::repo(1));
+        g.add_edge(SOURCE, a, ItemId(0), c(0.1));
+        g.add_edge(SOURCE, b, ItemId(0), c(0.4));
+        (g, a, b)
+    }
+
+    #[test]
+    fn renegotiate_rebuilds_centralized_source_list_from_stalest_member() {
+        let (g, a, b) = centralized_star();
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        let f = d.on_source_update(ItemId(0), 1.2); // tag 0.1: serves A
+        let _ = d.on_repo_update(a, f.update); // ...and A holds it
+        d.renegotiate(b, ItemId(0), c(0.2));
+        let list = d.source_list_mut(ItemId(0)).clone();
+        assert_eq!(list.len(), 2);
+        assert_eq!((list[0].0, list[0].1), (c(0.1), 1.2), "A's class: A holds 1.2");
+        // B never received 1.2 (it was only tagged 0.1), so its new class
+        // must be seeded with B's actual copy, not the source's value.
+        assert_eq!((list[1].0, list[1].1), (c(0.2), 1.0), "new class seeded from stalest member");
+    }
+
+    #[test]
+    fn centralized_tightening_repairs_on_the_next_change() {
+        // Source moves 1.0 → 1.3: tagged 0.1, so A refreshes but B (0.4)
+        // does not. B then tightens to 0.1, *joining A's class*. If the
+        // merged class kept A's fresh last (1.3), a slow source (next
+        // value 1.35) would never re-violate it and B would hold 1.0
+        // forever; the stalest-member rule drags the class back to 1.0.
+        let (g, a, b) = centralized_star();
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        let f = d.on_source_update(ItemId(0), 1.3);
+        assert_eq!(f.to, vec![a], "tag 0.1 serves only A");
+        let _ = d.on_repo_update(a, f.update);
+        d.renegotiate(b, ItemId(0), c(0.1));
+        assert_eq!(d.source_list_mut(ItemId(0)).clone(), vec![(c(0.1), 1.0)]);
+        let f = d.on_source_update(ItemId(0), 1.35);
+        assert!(f.to.contains(&b), "stalest-member class must re-tag B on the next change");
+        let f = d.on_repo_update(b, f.update);
+        assert!(f.to.is_empty());
+        assert_eq!(d.value_at(b, ItemId(0)), 1.35);
+    }
+
+    #[test]
+    fn centralized_recovery_resyncs_the_nodes_classes() {
+        // B (c=0.4) fails; the source jumps to 5.0 — tag_update advances
+        // B's class to 5.0 even though the send was lost. Without the
+        // recovery resync, later values near 5.0 never re-violate the
+        // class and B stays at 1.0 to the end of time.
+        let (g, _a, b) = centralized_star();
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        d.set_node_active(b, false);
+        let f = d.on_source_update(ItemId(0), 5.0);
+        assert!(f.to.contains(&b), "the source is oblivious and still sends");
+        let _ = d.on_repo_update(b, f.update); // dropped: B is down
+        assert_eq!(d.value_at(b, ItemId(0)), 1.0);
+        d.set_node_active(b, true);
+        let f = d.on_source_update(ItemId(0), 5.05);
+        assert!(f.to.contains(&b), "recovery must mark B's class stale");
+        let _ = d.on_repo_update(b, f.update);
+        assert_eq!(d.value_at(b, ItemId(0)), 5.05);
     }
 
     #[test]

@@ -111,17 +111,47 @@ impl FidelityTracker {
     /// Records a new source value at time `at_us` (µs) and re-evaluates
     /// every measured pair on the item — one contiguous slice scan.
     pub fn source_update(&mut self, at_us: u64, item: ItemId, value: f64) {
+        self.source_update_sink(at_us, item, value, &mut |_, _, _| {});
+    }
+
+    /// [`FidelityTracker::source_update`] that also reports every
+    /// violation-interval transition to `sink` as
+    /// `(repo, item, opened)` — `opened == true` when a violation interval
+    /// starts at `at_us`, `false` when one closes. A no-op closure
+    /// monomorphizes to exactly the unobserved scan.
+    pub fn source_update_sink<F: FnMut(usize, ItemId, bool)>(
+        &mut self,
+        at_us: u64,
+        item: ItemId,
+        value: f64,
+        sink: &mut F,
+    ) {
         self.source_value[item.index()] = value;
         let lo = self.item_start[item.index()] as usize;
         let hi = self.item_start[item.index() + 1] as usize;
         for p in &mut self.pairs[lo..hi] {
-            Self::transition(p, at_us, value);
+            if let Some(opened) = Self::transition(p, at_us, value) {
+                sink(p.repo as usize, ItemId(p.item), opened);
+            }
         }
     }
 
     /// Records an update arriving at a repository at time `at_us` (µs).
     /// Arrivals for unmeasured (relay-only) items are ignored.
     pub fn repo_update(&mut self, at_us: u64, node: NodeIdx, item: ItemId, value: f64) {
+        self.repo_update_sink(at_us, node, item, value, &mut |_, _, _| {});
+    }
+
+    /// [`FidelityTracker::repo_update`] with the same transition `sink` as
+    /// [`FidelityTracker::source_update_sink`].
+    pub fn repo_update_sink<F: FnMut(usize, ItemId, bool)>(
+        &mut self,
+        at_us: u64,
+        node: NodeIdx,
+        item: ItemId,
+        value: f64,
+        sink: &mut F,
+    ) {
         assert!(!node.is_source(), "the source has no measured pairs");
         let repo = node.index() - 1;
         let idx = self.pair_of[repo * self.n_items + item.index()];
@@ -131,20 +161,74 @@ impl FidelityTracker {
         let sv = self.source_value[item.index()];
         let p = &mut self.pairs[idx as usize];
         p.repo_value = value;
-        Self::transition(p, at_us, sv);
+        if let Some(opened) = Self::transition(p, at_us, sv) {
+            sink(repo, item, opened);
+        }
     }
 
+    /// Renegotiates the tolerance of one measured `(repo, item)` pair at
+    /// time `at_us` (µs) — the incremental mutation entry point mid-run
+    /// dynamics use. The pair's open-violation state is re-evaluated **at
+    /// the mutation instant** against the current source and repository
+    /// values: tightening may open an interval at exactly `at_us`,
+    /// loosening may close one. Transitions are reported through `sink`
+    /// like the update calls. Returns the tolerance previously in force,
+    /// or `None` (and changes nothing) when the pair is not measured.
+    pub fn set_tolerance<F: FnMut(usize, ItemId, bool)>(
+        &mut self,
+        at_us: u64,
+        repo: usize,
+        item: ItemId,
+        c: Coherency,
+        sink: &mut F,
+    ) -> Option<Coherency> {
+        let idx = self.pair_of[repo * self.n_items + item.index()];
+        if idx == u32::MAX {
+            return None;
+        }
+        let sv = self.source_value[item.index()];
+        let p = &mut self.pairs[idx as usize];
+        let old = p.c;
+        p.c = c;
+        if let Some(opened) = Self::transition(p, at_us, sv) {
+            sink(repo, item, opened);
+        }
+        Some(old)
+    }
+
+    /// The tolerance currently in force for a measured pair (`None` when
+    /// the repository does not measure the item).
+    pub fn tolerance_of(&self, repo: usize, item: ItemId) -> Option<Coherency> {
+        let idx = self.pair_of[repo * self.n_items + item.index()];
+        if idx == u32::MAX {
+            None
+        } else {
+            Some(self.pairs[idx as usize].c)
+        }
+    }
+
+    /// Number of measured (repository, item) pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Applies the pair's violation-interval state machine at `at_us`.
+    /// Returns `Some(true)` when a violation interval opens, `Some(false)`
+    /// when one closes, `None` when the state is unchanged.
     #[inline]
-    fn transition(p: &mut PairState, at_us: u64, source_value: f64) {
+    fn transition(p: &mut PairState, at_us: u64, source_value: f64) -> Option<bool> {
         let violating_now = p.c.violated_by(source_value, p.repo_value);
         if p.violation_started == NOT_VIOLATING {
             if violating_now {
                 p.violation_started = at_us;
+                return Some(true);
             }
         } else if !violating_now {
             p.violation_total_us += at_us - p.violation_started;
             p.violation_started = NOT_VIOLATING;
+            return Some(false);
         }
+        None
     }
 
     /// Closes all open violation intervals at `end_us` (µs) and produces
@@ -331,5 +415,57 @@ mod tests {
         let r = t.finish(0);
         assert_eq!(r.loss_pct, 0.0);
         assert_eq!(r.duration_ms, 0.0);
+    }
+
+    #[test]
+    fn sink_reports_open_and_close_transitions() {
+        let (_w, mut t) = one_pair(0.5);
+        let mut log = Vec::new();
+        let mut sink = |repo: usize, item: ItemId, opened: bool| log.push((repo, item, opened));
+        t.source_update_sink(100, ItemId(0), 2.0, &mut sink); // opens
+        t.source_update_sink(200, ItemId(0), 2.1, &mut sink); // still open: no event
+        t.repo_update_sink(300, NodeIdx::repo(0), ItemId(0), 2.1, &mut sink); // closes
+        assert_eq!(log, vec![(0, ItemId(0), true), (0, ItemId(0), false)]);
+    }
+
+    #[test]
+    fn tightening_tolerance_opens_violation_at_the_mutation_instant() {
+        let (_w, mut t) = one_pair(0.5);
+        // Source drifts to 1.3: within ±0.5, no violation.
+        t.source_update(100_000, ItemId(0), 1.3);
+        let mut opened = Vec::new();
+        let old = t.set_tolerance(400_000, 0, ItemId(0), c(0.1), &mut |r, i, o| {
+            opened.push((r, i, o));
+        });
+        assert_eq!(old, Some(c(0.5)));
+        assert_eq!(opened, vec![(0, ItemId(0), true)], "|1.3-1.0| > 0.1 must open at t=400ms");
+        assert_eq!(t.tolerance_of(0, ItemId(0)), Some(c(0.1)));
+        let r = t.finish(1_000_000);
+        // Violation runs from the mutation instant to the end: 60%.
+        assert!((r.loss_pct - 60.0).abs() < 1e-9, "{}", r.loss_pct);
+    }
+
+    #[test]
+    fn loosening_tolerance_closes_violation_at_the_mutation_instant() {
+        let (_w, mut t) = one_pair(0.5);
+        t.source_update(100_000, ItemId(0), 2.0); // opens (|2.0-1.0| > 0.5)
+        let mut log = Vec::new();
+        t.set_tolerance(300_000, 0, ItemId(0), c(5.0), &mut |r, i, o| log.push((r, i, o)));
+        assert_eq!(log, vec![(0, ItemId(0), false)]);
+        let r = t.finish(1_000_000);
+        // Only the 100ms..300ms interval counts: 20%.
+        assert!((r.loss_pct - 20.0).abs() < 1e-9, "{}", r.loss_pct);
+    }
+
+    #[test]
+    fn set_tolerance_on_unmeasured_pair_is_rejected() {
+        let w = Workload::from_needs(vec![vec![Some(c(0.5)), None]]);
+        let mut t = FidelityTracker::new(&w, &[1.0, 1.0], 0);
+        let mut called = false;
+        let old = t.set_tolerance(1000, 0, ItemId(1), c(0.1), &mut |_, _, _| called = true);
+        assert_eq!(old, None);
+        assert!(!called);
+        assert_eq!(t.tolerance_of(0, ItemId(1)), None);
+        assert_eq!(t.n_pairs(), 1);
     }
 }

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use d3t_experiments::{
-    ablations, baseline, controlled, filtering, lela_params, nocoop, protocols, pullpush,
+    ablations, baseline, controlled, dynamics, filtering, lela_params, nocoop, protocols, pullpush,
     scalability, sweep, table1, Scale,
 };
 use d3t_sim::QueueBackend;
@@ -50,6 +50,7 @@ const IDS: &[&str] = &[
     "ablate-join",
     "ablate-protocols",
     "ext-pull",
+    "dynamics",
 ];
 
 fn render(id: &str, scale: &Scale) -> String {
@@ -71,6 +72,7 @@ fn render(id: &str, scale: &Scale) -> String {
         "ablate-join" => ablations::join_order_study(scale).render(),
         "ablate-protocols" => ablations::protocol_fidelity(scale).render(),
         "ext-pull" => pullpush::pull_vs_push(scale).render(),
+        "dynamics" => dynamics::dynamics(scale).render(),
         _ => unreachable!("id list is closed"),
     }
 }
@@ -78,8 +80,8 @@ fn render(id: &str, scale: &Scale) -> String {
 /// One timed base-config run; the single line CI greps for event-loop
 /// throughput tracking.
 fn smoke(scale: &Scale) {
-    let cfg = scale.base_config();
-    let prepared = d3t_sim::Prepared::build(&cfg);
+    let prepared = scale.prepared();
+    let cfg = prepared.config().clone();
     let start = Instant::now();
     let report = prepared.run();
     let wall_us = start.elapsed().as_micros().max(1) as u64;

@@ -27,6 +27,7 @@
 //! | footnote 1 | [`ablations::f_sensitivity`] | Eq. (2) constant `f` |
 //! | §5 claim | [`ablations::join_order_study`] | stringent-first placement |
 //! | §8 extension | [`pullpush::pull_vs_push`] | push vs (adaptive) pull vs push-pull |
+//! | extension | [`dynamics::dynamics`] | fidelity through a mid-run failure burst |
 //!
 //! Independent experiment cells fan out over the parallel [`sweep`]
 //! runner; results are byte-identical to serial execution regardless of
@@ -36,6 +37,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod controlled;
+pub mod dynamics;
 pub mod figure;
 pub mod filtering;
 pub mod lela_params;

@@ -1,7 +1,7 @@
 //! Experiment scale presets.
 
 use d3t_net::NetworkConfig;
-use d3t_sim::{QueueBackend, SimConfig};
+use d3t_sim::{Prepared, QueueBackend, SimConfig};
 
 /// How big an experiment to run. The paper's full scale is the default for
 /// published numbers; `quick` keeps every shape with a shorter horizon;
@@ -63,6 +63,13 @@ impl Scale {
             queue: self.queue,
             ..SimConfig::default()
         }
+    }
+
+    /// A fully prepared base-config run at this scale — the entry point
+    /// for experiments that drive a steppable session (dynamics, smoke)
+    /// instead of a sealed sweep cell.
+    pub fn prepared(&self) -> Prepared {
+        Prepared::build(&self.base_config())
     }
 
     /// Degrees of cooperation swept on figure x-axes, capped to the

@@ -19,6 +19,19 @@
 //!   starts processing when the CPU frees up (this queueing is the
 //!   mechanism behind the U-curve's rising half).
 //!
+//! # Engine vs. Session
+//!
+//! [`Engine::run`] is the original sealed run-to-completion loop, kept
+//! **verbatim** as the reference implementation: it has no observer
+//! plumbing, no stepping, and no dynamics, so it is the measuring stick
+//! the [`Session`](crate::session::Session) redesign is judged against.
+//! The product path ([`crate::run`] / `Prepared::run`) drives a `Session`
+//! with the no-op observer; compat tests assert its `(FidelityReport,
+//! Metrics)` is bit-identical to this loop on every input, and the
+//! `observer_overhead` bench asserts the wall-clock cost of the session
+//! plumbing stays within noise of it. New capability goes into `Session`;
+//! this loop only changes when the simulation semantics themselves do.
+//!
 //! # Performance model
 //!
 //! The engine runs on an **integer-microsecond timebase end to end**:
@@ -123,18 +136,18 @@ pub fn change_at_us(at_ms: u64) -> u64 {
 pub struct Engine<Q: EventQueue<EventKind> = CalendarQueue<EventKind>> {
     /// Flat µs overlay delay matrix (one float→int rounding per pair,
     /// done at construction).
-    delays_us: DelayMicros,
+    pub(crate) delays_us: DelayMicros,
     /// Per-dependent CPU occupancy, µs.
-    comp_delay_us: u64,
-    disseminator: Disseminator,
-    fidelity: FidelityTracker,
-    metrics: Metrics,
+    pub(crate) comp_delay_us: u64,
+    pub(crate) disseminator: Disseminator,
+    pub(crate) fidelity: FidelityTracker,
+    pub(crate) metrics: Metrics,
     /// Per-node CPU availability, µs.
-    busy_until_us: Vec<u64>,
-    queue: Q,
-    next_seq: u64,
+    pub(crate) busy_until_us: Vec<u64>,
+    pub(crate) queue: Q,
+    pub(crate) next_seq: u64,
     /// Observation horizon, µs.
-    end_us: u64,
+    pub(crate) end_us: u64,
 }
 
 impl Engine {

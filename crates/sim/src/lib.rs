@@ -15,32 +15,100 @@
 //! * fidelity is accounted exactly from the interleaving of source changes
 //!   and repository arrivals.
 //!
+//! # The Session model
+//!
+//! The public surface is built around a steppable [`Session`] rather than
+//! a sealed run. One lifecycle:
+//!
+//! ```text
+//!   SimConfig ──Prepared::build()──▶ Prepared        (inputs, overlay)
+//!                                       │ session() / session_with::<Q, O>()
+//!                                       ▼
+//!   ┌──────────────────────────── Session<Q, O> ────────────────────────┐
+//!   │ step()          process exactly one event                         │
+//!   │ run_until(t)    process every event ≤ t, set now = t              │
+//!   │ inject(d)       apply a Dynamic at now (fail / recover /          │
+//!   │                 renegotiate tolerance / hot-swap an item)         │
+//!   │ observer()      peek at whatever O collected so far               │
+//!   └──────────────┬─────────────────────────────────────────────────────┘
+//!                  │ run_to_end() / finish()
+//!                  ▼
+//!        (FidelityReport, Metrics[, O])
+//! ```
+//!
+//! [`run`] (and `Prepared::run`) remain as thin compatibility wrappers:
+//! they drive a `Session` with the [`NoopObserver`] to completion and are
+//! **bit-identical** to the pre-session engine on every input — the
+//! sealed [`Engine`] loop is kept verbatim as the reference oracle the
+//! property tests compare against.
+//!
+//! # Observer cost model
+//!
+//! A session is monomorphized per [`Observer`] type:
+//!
+//! * `Session<_, NoopObserver>` inlines empty callbacks everywhere — the
+//!   event loop compiles down to the unobserved reference loop (the
+//!   `observer_overhead` bench holds the difference under 2%);
+//! * a real observer ([`WindowedFidelity`] time series, [`EventTrace`]
+//!   logs, or your own) pays only for the callbacks it implements; there
+//!   is no dynamic dispatch and no event buffering;
+//! * violation open/close callbacks are driven by the fidelity tracker's
+//!   exact interval accounting, so a time-series observer sees every
+//!   transition without scanning any state.
+//!
+//! # Mid-run dynamics
+//!
+//! [`Session::inject`] applies a [`Dynamic`] at the session's current
+//! time: fail-stop repository crashes and recoveries, per `(repo, item)`
+//! tolerance renegotiation (the disseminator patches its compiled CSR
+//! forwarding table in place), and item hot-swaps. Violation accounting
+//! is re-evaluated at exactly the mutation instant. See the `dynamics`
+//! experiment and `examples/failover.rs` for the end-to-end picture.
+//!
 //! The simulation is fully deterministic: a seeded configuration always
-//! produces bit-identical reports.
+//! produces bit-identical reports, whatever mix of stepping, observers,
+//! and queue backends drives it.
 //!
 //! ```
-//! use d3t_sim::{SimConfig, run};
+//! use d3t_sim::{run, Dynamic, Prepared, SimConfig};
 //!
 //! let cfg = SimConfig::small_for_tests(10, 5, 500, 50.0);
+//! // One-shot (the compatibility path)...
 //! let report = run(&cfg);
 //! assert!(report.fidelity.loss_pct <= 100.0);
+//!
+//! // ...or steppable with mid-run dynamics.
+//! let prepared = Prepared::build(&cfg);
+//! let mut session = prepared.session();
+//! session.run_until(prepared.end_us / 2);
+//! session.inject(Dynamic::FailRepo { repo: 0 }).unwrap();
+//! let (fidelity, metrics) = session.run_to_end();
+//! assert!(metrics.injected == 1 && fidelity.loss_pct <= 100.0);
 //! ```
 
 pub mod config;
+pub mod dynamics;
 pub mod engine;
 pub mod metrics;
+pub mod observer;
 pub mod prepared;
 pub mod queue;
 pub mod report;
+pub mod session;
 
 pub use config::{SimConfig, TreeStrategy};
-pub use engine::Engine;
+pub use dynamics::{Dynamic, DynamicError};
+pub use engine::{Engine, EventKind};
 pub use metrics::Metrics;
+pub use observer::{EventTrace, NoopObserver, Observer, TraceEvent, WindowPoint, WindowedFidelity};
 pub use prepared::Prepared;
-pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend, QueueVisitor};
 pub use report::RunReport;
+pub use session::Session;
 
-/// Prepares and runs a complete simulation from a configuration.
+/// Prepares and runs a complete simulation from a configuration — the
+/// sealed-run compatibility wrapper over [`Session`], bit-identical to
+/// the pre-session engine.
 pub fn run(cfg: &SimConfig) -> RunReport {
     Prepared::build(cfg).run()
 }

@@ -25,6 +25,12 @@ pub struct Metrics {
     /// delivered arrivals) — the denominator of the event-loop throughput
     /// number the CI smoke run tracks.
     pub events: u64,
+    /// Arrivals dropped at a failed repository (fail-stop dynamics; always
+    /// 0 for a run with no injected failures).
+    pub dropped: u64,
+    /// Mid-run dynamics applied via `Session::inject` (always 0 for a
+    /// plain `run`).
+    pub injected: u64,
 }
 
 impl Metrics {

@@ -11,8 +11,10 @@ use d3t_traces::{generate_ensemble, EnsembleConfig, Trace};
 
 use crate::config::{SimConfig, TreeStrategy};
 use crate::engine::{Engine, EventKind, SourceChange};
-use crate::queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
+use crate::observer::{NoopObserver, Observer};
+use crate::queue::{CalendarQueue, EventQueue, QueueVisitor};
 use crate::report::RunReport;
+use crate::session::Session;
 
 /// A fully materialized experiment: all inputs generated, overlay built,
 /// ready to [`run`](Prepared::run). Exposed so examples and ablations can
@@ -79,21 +81,60 @@ impl Prepared {
     }
 
     /// Runs the dissemination simulation and gathers the report, using the
-    /// scheduler backend the configuration selects. Reports are backend
+    /// scheduler backend the configuration selects (the selection goes
+    /// through [`QueueBackend::dispatch`](crate::queue::QueueBackend),
+    /// the one place backends become types). Reports are backend
     /// independent (bit-identical) by construction.
     pub fn run(&self) -> RunReport {
-        match self.cfg.queue {
-            QueueBackend::Calendar => self.run_with::<CalendarQueue<EventKind>>(),
-            QueueBackend::Heap => self.run_with::<HeapQueue<EventKind>>(),
+        struct Run<'a>(&'a Prepared);
+        impl QueueVisitor<EventKind> for Run<'_> {
+            type Out = RunReport;
+            fn visit<Q: EventQueue<EventKind>>(self) -> RunReport {
+                self.0.run_with::<Q>()
+            }
         }
+        self.cfg.queue.dispatch(Run(self))
     }
 
     /// [`Prepared::run`] with an explicit scheduler implementation (any
     /// [`EventQueue`], including instrumented wrappers in benches/tests).
+    /// Equivalent to `session_with::<Q, _>(NoopObserver).run_to_end()`.
     pub fn run_with<Q: EventQueue<EventKind>>(&self) -> RunReport {
-        use d3t_core::lela::OverlayDelays;
+        let (fidelity, metrics) = self.session_with::<Q, _>(NoopObserver).run_to_end();
+        self.report(fidelity, metrics)
+    }
+
+    /// A steppable [`Session`] over this prepared run, scheduling with the
+    /// default calendar queue and observing nothing.
+    pub fn session(&self) -> Session {
+        self.session_with::<CalendarQueue<EventKind>, _>(NoopObserver)
+    }
+
+    /// A [`Session`] on the default calendar queue with the given
+    /// observer — the common observed-run entry point.
+    pub fn session_observing<O: Observer>(
+        &self,
+        observer: O,
+    ) -> Session<CalendarQueue<EventKind>, O> {
+        self.session_with(observer)
+    }
+
+    /// A [`Session`] with an explicit scheduler backend and observer —
+    /// the full-control entry point (time-series observers, dynamics,
+    /// instrumented queues).
+    pub fn session_with<Q: EventQueue<EventKind>, O: Observer>(
+        &self,
+        observer: O,
+    ) -> Session<Q, O> {
+        Session::from_engine(self.engine(), observer)
+    }
+
+    /// The sealed reference engine over this prepared run (the oracle the
+    /// session is property-tested against; normal callers want
+    /// [`Prepared::session`]).
+    pub fn engine<Q: EventQueue<EventKind>>(&self) -> Engine<Q> {
         let disseminator = Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
-        let engine = Engine::<Q>::with_queue(
+        Engine::<Q>::with_queue(
             &self.d3g,
             &self.workload,
             &self.delays,
@@ -102,8 +143,17 @@ impl Prepared {
             &self.initial_values,
             self.cfg.comp_delay_ms,
             self.end_us,
-        );
-        let (fidelity, metrics) = engine.run();
+        )
+    }
+
+    /// Wraps a finished run's outputs with the overlay statistics every
+    /// figure wants alongside them.
+    pub fn report(
+        &self,
+        fidelity: d3t_core::fidelity::FidelityReport,
+        metrics: crate::metrics::Metrics,
+    ) -> RunReport {
+        use d3t_core::lela::OverlayDelays;
         RunReport {
             fidelity,
             metrics,
@@ -112,6 +162,12 @@ impl Prepared {
             max_tree_depth: self.d3g.max_depth(),
             mean_tree_depth: self.d3g.mean_depth(),
         }
+    }
+
+    /// Number of measured (repository, item) pairs — the normalizer for
+    /// windowed fidelity series.
+    pub fn n_measured_pairs(&self) -> usize {
+        (0..self.workload.n_repos()).map(|r| self.workload.items_of(r).count()).sum()
     }
 
     /// The configuration this run was prepared from.
@@ -167,23 +223,47 @@ fn effective_degree(cfg: &SimConfig, mean_comm_ms: f64) -> usize {
 }
 
 /// Merges all traces' change sequences into one time-ordered stream
-/// (stable by item index at equal timestamps). The initial tick of each
-/// trace is *not* a change — every node starts coherent at it.
+/// (ordered by `(at_ms, item)`; item index breaks timestamp ties). The
+/// initial tick of each trace is *not* a change — every node starts
+/// coherent at it.
+///
+/// Each per-item change stream is already sorted (trace timestamps are
+/// strictly increasing), so this is a k-way heap merge: `O(N log k)` over
+/// `N` total changes and `k` items, instead of the `O(N log N)`
+/// whole-stream sort that used to grow with `n_items × n_ticks`. The heap
+/// holds one `(at_ms, item)` head per stream; no `(at_ms, item)` key can
+/// repeat (one stream per item, strictly increasing within), so the order
+/// is total and identical to the sort's.
 fn merge_changes(traces: &[Trace]) -> Vec<SourceChange> {
-    let mut changes: Vec<SourceChange> = Vec::new();
-    for (i, t) in traces.iter().enumerate() {
-        let item = ItemId(i as u32);
-        for tick in t.changes().iter().skip(1) {
-            changes.push((tick.at_ms, item, tick.value));
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let streams: Vec<Vec<d3t_traces::Tick>> = traces.iter().map(Trace::changes).collect();
+    let total: usize = streams.iter().map(|s| s.len().saturating_sub(1)).sum();
+    let mut heads: BinaryHeap<Reverse<(u64, u32)>> = streams
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.len() > 1)
+        .map(|(i, s)| Reverse((s[1].at_ms, i as u32)))
+        .collect();
+    // Cursor into each stream (position of the head currently in the heap).
+    let mut pos: Vec<usize> = vec![1; streams.len()];
+    let mut changes: Vec<SourceChange> = Vec::with_capacity(total);
+    while let Some(Reverse((at_ms, item))) = heads.pop() {
+        let stream = &streams[item as usize];
+        let p = &mut pos[item as usize];
+        changes.push((at_ms, ItemId(item), stream[*p].value));
+        *p += 1;
+        if let Some(next) = stream.get(*p) {
+            heads.push(Reverse((next.at_ms, item)));
         }
     }
-    changes.sort_by_key(|&(at, item, _)| (at, item));
     changes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::HeapQueue;
     use d3t_core::dissemination::Protocol;
 
     #[test]
@@ -216,6 +296,50 @@ mod tests {
                 assert_eq!(format!("{cal:?}"), format!("{heap:?}"));
             }
         }
+    }
+
+    /// The k-way heap merge must order changes exactly like the old
+    /// whole-stream sort on any ensemble shape, including traces with no
+    /// changes and heavy timestamp collisions across items.
+    #[test]
+    fn kway_merge_matches_sort_reference() {
+        fn reference(traces: &[Trace]) -> Vec<SourceChange> {
+            let mut changes: Vec<SourceChange> = Vec::new();
+            for (i, t) in traces.iter().enumerate() {
+                let item = ItemId(i as u32);
+                for tick in t.changes().iter().skip(1) {
+                    changes.push((tick.at_ms, item, tick.value));
+                }
+            }
+            changes.sort_by_key(|&(at, item, _)| (at, item));
+            changes
+        }
+        // Generated ensembles across seeds and shapes.
+        for (n_items, n_ticks, seed) in [(1usize, 50usize, 7u64), (5, 200, 0x5EED), (17, 93, 42)] {
+            let cfg = d3t_traces::EnsembleConfig::small(n_items, n_ticks);
+            let traces = d3t_traces::generate_ensemble(&cfg, seed);
+            assert_eq!(merge_changes(&traces), reference(&traces), "seed {seed}");
+        }
+        // Hand-built edge cases: constant trace (no changes), single tick,
+        // and aligned timestamps across every stream.
+        let traces = vec![
+            Trace::from_pairs("flat", [(0, 1.0), (10, 1.0), (20, 1.0)]),
+            Trace::from_pairs("single", [(0, 2.0)]),
+            Trace::from_pairs("a", [(0, 1.0), (10, 2.0), (20, 3.0)]),
+            Trace::from_pairs("b", [(0, 1.0), (10, 4.0), (20, 5.0)]),
+        ];
+        let merged = merge_changes(&traces);
+        assert_eq!(merged, reference(&traces));
+        assert_eq!(
+            merged,
+            vec![
+                (10, ItemId(2), 2.0),
+                (10, ItemId(3), 4.0),
+                (20, ItemId(2), 3.0),
+                (20, ItemId(3), 5.0),
+            ],
+            "timestamp ties break by item index"
+        );
     }
 
     #[test]

@@ -107,6 +107,28 @@ pub enum QueueBackend {
     Heap,
 }
 
+/// A computation generic over the queue implementation, for
+/// [`QueueBackend::dispatch`]. This is the **only** place a
+/// [`QueueBackend`] value is turned into a concrete type: every runtime
+/// backend selection (one-shot runs, session construction, …) goes
+/// through it, so adding a backend is one new `dispatch` arm.
+pub trait QueueVisitor<T> {
+    /// What the computation produces.
+    type Out;
+    /// Runs the computation with the chosen queue type.
+    fn visit<Q: EventQueue<T>>(self) -> Self::Out;
+}
+
+impl QueueBackend {
+    /// Monomorphizes `visitor` with the queue type this backend names.
+    pub fn dispatch<T, V: QueueVisitor<T>>(self, visitor: V) -> V::Out {
+        match self {
+            QueueBackend::Calendar => visitor.visit::<CalendarQueue<T>>(),
+            QueueBackend::Heap => visitor.visit::<HeapQueue<T>>(),
+        }
+    }
+}
+
 /// A priority queue of `(at_us, seq)`-keyed events, popped in exactly
 /// ascending key order. `seq` must be unique per queue, which makes the
 /// order total — every implementation is observationally identical.

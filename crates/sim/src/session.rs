@@ -1,0 +1,589 @@
+//! The steppable simulation session — the simulator's public surface.
+//!
+//! A [`Session`] owns exactly the state the sealed reference engine owns,
+//! plus an [`Observer`] and the fail-stop liveness mask, and decomposes
+//! the run-to-completion loop into resumable pieces:
+//!
+//! ```text
+//!   Prepared::build(cfg)
+//!        │ session() / session_with::<Q, O>()
+//!        ▼
+//!   Session ──step()──────────────▶ one event processed
+//!        │  ──run_until(t_us)─────▶ every event ≤ t, then now = t
+//!        │  ──inject(Dynamic)─────▶ fail / recover / renegotiate / swap
+//!        │         ▲                (applied at now, violations
+//!        │         │ repeatable      re-evaluated at that instant)
+//!        │         ▼
+//!        └──run_to_end() / finish()─▶ (FidelityReport, Metrics[, O])
+//! ```
+//!
+//! Determinism is unchanged: a session driven by any interleaving of
+//! `step` / `run_until` / `run_to_end` (with no injections) produces the
+//! `(FidelityReport, Metrics)` of the sealed [`Engine::run`] loop
+//! bit-for-bit, on either queue backend — property-tested at the
+//! workspace root. Observation is free when unused: the observer is a
+//! type parameter, so the [`NoopObserver`] session monomorphizes to the
+//! reference loop (the `observer_overhead` bench pins the difference
+//! below noise).
+
+use d3t_core::dissemination::{Disseminator, Update};
+use d3t_core::fidelity::{FidelityReport, FidelityTracker};
+use d3t_core::lela::DelayMicros;
+use d3t_core::overlay::{NodeIdx, SOURCE};
+
+use crate::dynamics::{Dynamic, DynamicError};
+use crate::engine::{Engine, EventKind};
+use crate::metrics::Metrics;
+use crate::observer::{NoopObserver, Observer};
+use crate::queue::{CalendarQueue, EventQueue};
+
+/// A live, steppable simulation run. Construct via
+/// [`Prepared::session`](crate::Prepared::session) /
+/// [`session_with`](crate::Prepared::session_with), or from a manually
+/// assembled [`Engine`] with [`Session::from_engine`].
+pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Observer = NoopObserver>
+{
+    delays_us: DelayMicros,
+    comp_delay_us: u64,
+    disseminator: Disseminator,
+    fidelity: FidelityTracker,
+    metrics: Metrics,
+    busy_until_us: Vec<u64>,
+    queue: Q,
+    next_seq: u64,
+    end_us: u64,
+    observer: O,
+    /// Simulation time: the latest event processed or `run_until` target.
+    now_us: u64,
+    /// One event popped past a `run_until` boundary, waiting to be
+    /// re-interleaved (injections may schedule ahead of it).
+    lookahead: Option<(u64, u64, EventKind)>,
+}
+
+impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
+    /// Wraps an assembled engine into a steppable session. The engine's
+    /// construction (input conversion, queue seeding) is the single
+    /// shared path — a session starts from exactly the state
+    /// [`Engine::run`] would have started from.
+    pub fn from_engine(engine: Engine<Q>, observer: O) -> Self {
+        Self {
+            delays_us: engine.delays_us,
+            comp_delay_us: engine.comp_delay_us,
+            disseminator: engine.disseminator,
+            fidelity: engine.fidelity,
+            metrics: engine.metrics,
+            busy_until_us: engine.busy_until_us,
+            queue: engine.queue,
+            next_seq: engine.next_seq,
+            end_us: engine.end_us,
+            observer,
+            now_us: 0,
+            lookahead: None,
+        }
+    }
+
+    /// Current simulation time, µs: the latest processed event time or
+    /// `run_until` target, whichever is later. Injections apply here.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Observation horizon, µs.
+    pub fn end_us(&self) -> u64 {
+        self.end_us
+    }
+
+    /// Events still scheduled (including a held-back lookahead event).
+    pub fn pending(&self) -> usize {
+        self.queue.len() + usize::from(self.lookahead.is_some())
+    }
+
+    /// Counters accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The observer, for mid-run inspection.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Protocol state, for mid-run inspection (e.g. `value_at`).
+    pub fn disseminator(&self) -> &Disseminator {
+        &self.disseminator
+    }
+
+    /// Whether the repository is currently up (fail-stop dynamics). The
+    /// disseminator's liveness mask is the single source of truth.
+    pub fn is_alive(&self, repo: usize) -> bool {
+        self.disseminator.is_active(NodeIdx::repo(repo))
+    }
+
+    /// Processes the next scheduled event, returning its `(time µs,
+    /// payload)`, or `None` when no events remain. Advances `now_us` to
+    /// the event time.
+    pub fn step(&mut self) -> Option<(u64, EventKind)> {
+        let (at_us, _seq, kind) = self.next_event()?;
+        self.process(at_us, kind);
+        Some((at_us, kind))
+    }
+
+    /// Processes every event scheduled at or before `t_us` (clamped to
+    /// the horizon), then advances `now_us` to the target so injections
+    /// happen at exactly the requested instant. Returns the number of
+    /// events processed. Asking for a time already passed processes
+    /// nothing.
+    pub fn run_until(&mut self, t_us: u64) -> u64 {
+        let t_us = t_us.min(self.end_us);
+        let mut processed = 0u64;
+        while let Some(ev) = self.next_event() {
+            if ev.0 > t_us {
+                self.stash(ev);
+                break;
+            }
+            self.process(ev.0, ev.2);
+            processed += 1;
+        }
+        self.now_us = self.now_us.max(t_us);
+        processed
+    }
+
+    /// Returns an un-processed event to the pending set. The smaller key
+    /// stays in the lookahead slot; a displaced event goes back into the
+    /// queue under its original `(at_us, seq)` key, so the total order is
+    /// unchanged.
+    fn stash(&mut self, ev: (u64, u64, EventKind)) {
+        match self.lookahead.take() {
+            None => self.lookahead = Some(ev),
+            Some(other) => {
+                let (keep, back) =
+                    if (ev.0, ev.1) <= (other.0, other.1) { (ev, other) } else { (other, ev) };
+                self.queue.push(back.0, back.1, back.2);
+                self.lookahead = Some(keep);
+            }
+        }
+    }
+
+    /// Drains every remaining event and produces the final report — the
+    /// sealed-run semantics. Use [`Session::finish`] to get the observer
+    /// back as well.
+    pub fn run_to_end(self) -> (FidelityReport, Metrics) {
+        let (report, metrics, _) = self.finish();
+        (report, metrics)
+    }
+
+    /// [`Session::run_to_end`] returning the observer (and whatever it
+    /// collected) alongside the report.
+    pub fn finish(mut self) -> (FidelityReport, Metrics, O) {
+        while self.step().is_some() {}
+        let Self { fidelity, metrics, mut observer, end_us, .. } = self;
+        observer.on_end(end_us);
+        (fidelity.finish(end_us), metrics, observer)
+    }
+
+    /// Applies a [`Dynamic`] at the session's current time. Violation
+    /// accounting is re-evaluated at exactly this instant: a tightened
+    /// tolerance may open an interval *now*, a loosened one may close
+    /// one, a hot-swap is a full source update. On error the simulation
+    /// state is unchanged.
+    pub fn inject(&mut self, dynamic: Dynamic) -> Result<(), DynamicError> {
+        let at_us = self.now_us;
+        match dynamic {
+            Dynamic::FailRepo { repo } => {
+                let node = self.check_repo(repo)?;
+                self.disseminator.set_node_active(node, false);
+            }
+            Dynamic::RecoverRepo { repo } => {
+                let node = self.check_repo(repo)?;
+                self.disseminator.set_node_active(node, true);
+            }
+            Dynamic::SetTolerance { repo, item, c } => {
+                let node = self.check_repo(repo)?;
+                self.check_item(item)?;
+                let fidelity = &mut self.fidelity;
+                let observer = &mut self.observer;
+                let old = fidelity.set_tolerance(at_us, repo, item, c, &mut |r, i, opened| {
+                    if opened {
+                        observer.on_violation_open(at_us, r, i);
+                    } else {
+                        observer.on_violation_close(at_us, r, i);
+                    }
+                });
+                if old.is_none() {
+                    return Err(DynamicError::UnmeasuredPair { repo, item });
+                }
+                self.disseminator.renegotiate(node, item, c);
+            }
+            Dynamic::HotSwapItem { item, value } => {
+                self.check_item(item)?;
+                if !value.is_finite() {
+                    return Err(DynamicError::NonFiniteValue);
+                }
+                self.metrics.source_updates += 1;
+                self.observer.on_source_change(at_us, item, value);
+                self.apply_source_change(at_us, item, value);
+            }
+        }
+        self.metrics.injected += 1;
+        Ok(())
+    }
+
+    fn check_repo(&self, repo: usize) -> Result<NodeIdx, DynamicError> {
+        let node = NodeIdx::repo(repo);
+        if node.index() >= self.disseminator.n_nodes() {
+            Err(DynamicError::UnknownRepo { repo })
+        } else {
+            Ok(node)
+        }
+    }
+
+    fn check_item(&self, item: d3t_core::item::ItemId) -> Result<(), DynamicError> {
+        if item.index() >= self.disseminator.n_items() {
+            Err(DynamicError::UnknownItem { item })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The globally minimal scheduled event: the queue minimum merged
+    /// with the held-back lookahead slot (an injection may have scheduled
+    /// arrivals ahead of it).
+    fn next_event(&mut self) -> Option<(u64, u64, EventKind)> {
+        match self.lookahead.take() {
+            None => self.queue.pop(),
+            Some(held) => match self.queue.pop() {
+                None => Some(held),
+                Some(popped) => {
+                    if (popped.0, popped.1) < (held.0, held.1) {
+                        self.lookahead = Some(held);
+                        Some(popped)
+                    } else {
+                        self.lookahead = Some(popped);
+                        Some(held)
+                    }
+                }
+            },
+        }
+    }
+
+    /// One event through the full pipeline — the body of the reference
+    /// engine's loop, with observer taps and the liveness gate added.
+    fn process(&mut self, at_us: u64, kind: EventKind) {
+        self.metrics.events += 1;
+        self.now_us = at_us;
+        match kind {
+            EventKind::SourceChange { item, value } => {
+                self.metrics.source_updates += 1;
+                self.observer.on_source_change(at_us, item, value);
+                self.apply_source_change(at_us, item, value);
+            }
+            EventKind::Arrival { node, update } => {
+                if !self.disseminator.is_active(node) {
+                    self.metrics.dropped += 1;
+                    self.observer.on_dropped(at_us, node, &update);
+                } else {
+                    self.observer.on_delivery(at_us, node, &update);
+                    let fidelity = &mut self.fidelity;
+                    let observer = &mut self.observer;
+                    fidelity.repo_update_sink(
+                        at_us,
+                        node,
+                        update.item,
+                        update.value,
+                        &mut |repo, item, opened| {
+                            if opened {
+                                observer.on_violation_open(at_us, repo, item);
+                            } else {
+                                observer.on_violation_close(at_us, repo, item);
+                            }
+                        },
+                    );
+                    let fwd = self.disseminator.on_repo_update(node, update);
+                    self.metrics.repo_checks += fwd.checks;
+                    self.transmit(node, at_us, fwd.update, &fwd.to);
+                }
+            }
+        }
+        self.observer.on_event(at_us, self.pending());
+    }
+
+    /// Fidelity + filtering + dissemination of one source-side value,
+    /// shared by trace ticks and injected hot-swaps.
+    fn apply_source_change(&mut self, at_us: u64, item: d3t_core::item::ItemId, value: f64) {
+        let fidelity = &mut self.fidelity;
+        let observer = &mut self.observer;
+        fidelity.source_update_sink(at_us, item, value, &mut |repo, it, opened| {
+            if opened {
+                observer.on_violation_open(at_us, repo, it);
+            } else {
+                observer.on_violation_close(at_us, repo, it);
+            }
+        });
+        let fwd = self.disseminator.on_source_update(item, value);
+        self.metrics.source_checks += fwd.checks;
+        self.transmit(SOURCE, at_us, fwd.update, &fwd.to);
+    }
+
+    /// Serially prepares and sends `update` from `node` to each
+    /// recipient — identical arithmetic to the reference engine, plus the
+    /// per-message `on_send` tap.
+    fn transmit(&mut self, node: NodeIdx, now_us: u64, update: Update, to: &[NodeIdx]) {
+        if to.is_empty() {
+            return;
+        }
+        let delay_row = self.delays_us.row(node);
+        let mut cpu = self.busy_until_us[node.index()].max(now_us);
+        for &child in to {
+            cpu += self.comp_delay_us;
+            self.metrics.messages += 1;
+            let arrival_us = cpu + delay_row[child.index()];
+            self.observer.on_send(now_us, node, child, &update, arrival_us);
+            if arrival_us > self.end_us {
+                self.metrics.undelivered += 1;
+                continue;
+            }
+            self.queue.push(arrival_us, self.next_seq, EventKind::Arrival { node: child, update });
+            self.next_seq += 1;
+        }
+        self.busy_until_us[node.index()] = cpu;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ms_to_us, SourceChange};
+    use crate::observer::EventTrace;
+    use d3t_core::coherency::Coherency;
+    use d3t_core::dissemination::Protocol;
+    use d3t_core::graph::D3g;
+    use d3t_core::item::ItemId;
+    use d3t_core::lela::DelayMatrix;
+    use d3t_core::workload::Workload;
+
+    fn c(v: f64) -> Coherency {
+        Coherency::new(v)
+    }
+
+    /// S → A (c=0.1): one item, one repo — the engine tests' fixture.
+    fn tiny() -> (D3g, Workload) {
+        let w = Workload::from_needs(vec![vec![Some(c(0.1))]]);
+        let mut g = D3g::new(1, 1);
+        g.add_edge(SOURCE, NodeIdx::repo(0), ItemId(0), c(0.1));
+        (g, w)
+    }
+
+    fn tiny_session(
+        changes: &[SourceChange],
+        comm_ms: f64,
+        comp_ms: f64,
+        end_ms: f64,
+    ) -> Session<CalendarQueue<EventKind>, NoopObserver> {
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, comm_ms);
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let engine = Engine::new(&g, &w, &delays, d, changes, &[1.0], comp_ms, ms_to_us(end_ms));
+        Session::from_engine(engine, NoopObserver)
+    }
+
+    #[test]
+    fn stepped_session_matches_sealed_engine() {
+        let changes: Vec<SourceChange> =
+            (1..500).map(|i| (i * 20, ItemId(0), 1.0 + (i % 17) as f64 * 0.03)).collect();
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, 25.0);
+        let mk = || Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let sealed = Engine::new(&g, &w, &delays, mk(), &changes, &[1.0], 12.5, 10_000_000).run();
+        let mut stepped = tiny_session(&changes, 25.0, 12.5, 10_000.0);
+        let mut n = 0u64;
+        while stepped.step().is_some() {
+            n += 1;
+        }
+        let by_step = stepped.run_to_end();
+        assert_eq!(by_step, sealed);
+        assert_eq!(n, sealed.1.events);
+    }
+
+    #[test]
+    fn run_until_splits_are_invisible() {
+        let changes: Vec<SourceChange> =
+            (1..300).map(|i| (i * 30, ItemId(0), 1.0 + (i % 11) as f64 * 0.04)).collect();
+        let whole = tiny_session(&changes, 10.0, 5.0, 10_000.0).run_to_end();
+        let mut split = tiny_session(&changes, 10.0, 5.0, 10_000.0);
+        for t_ms in [1_000u64, 1_000, 4_321, 9_999] {
+            split.run_until(t_ms * 1000);
+        }
+        assert_eq!(split.now_us(), 9_999_000);
+        assert_eq!(split.run_to_end(), whole);
+    }
+
+    #[test]
+    fn fail_and_recover_account_staleness_exactly() {
+        // Fail A before the t=1000ms change (value 2.0): the arrival is
+        // dropped, so the violation opened at 1000 persists. Recover at
+        // 2000; the t=3000 change (3.0) arrives 3000+comp50+comm200=3250
+        // and closes it. Loss = (3250-1000)/10000 = 22.5%.
+        let changes = [(1000u64, ItemId(0), 2.0), (3000, ItemId(0), 3.0)];
+        let mut s = tiny_session(&changes, 200.0, 50.0, 10_000.0);
+        s.inject(Dynamic::FailRepo { repo: 0 }).unwrap();
+        assert!(!s.is_alive(0));
+        s.run_until(2_000_000);
+        s.inject(Dynamic::RecoverRepo { repo: 0 }).unwrap();
+        assert!(s.is_alive(0));
+        let (rep, m) = s.run_to_end();
+        assert_eq!(m.dropped, 1, "the first arrival hit the dead repo");
+        assert_eq!(m.injected, 2);
+        assert_eq!(m.messages, 2);
+        assert!((rep.loss_pct - 22.5).abs() < 1e-6, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn centralized_fail_and_recover_still_repairs() {
+        // Same shape as the distributed fail/recover test, but under the
+        // centralized protocol, whose class-indexed sender state advances
+        // even for dropped sends — recovery must resync the class so the
+        // t=3000ms change (3.0) still reaches A and closes the violation
+        // at 3250ms: loss = (3250-1000)/10000 = 22.5%.
+        let changes = [(1000u64, ItemId(0), 2.0), (3000, ItemId(0), 3.0)];
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, 200.0);
+        let d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        let engine = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 50.0, ms_to_us(10_000.0));
+        let mut s = Session::from_engine(engine, NoopObserver);
+        s.inject(Dynamic::FailRepo { repo: 0 }).unwrap();
+        s.run_until(2_000_000);
+        s.inject(Dynamic::RecoverRepo { repo: 0 }).unwrap();
+        let (rep, m) = s.run_to_end();
+        assert_eq!(m.dropped, 1);
+        assert!((rep.loss_pct - 22.5).abs() < 1e-6, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn tightened_tolerance_opens_violation_at_injection_instant() {
+        // A drift of 0.05 is fine under c=0.1; tightening to 0.01 at
+        // t=2000ms opens a violation lasting to the end: 80% loss.
+        let changes = [(1000u64, ItemId(0), 1.05)];
+        let mut s = tiny_session(&changes, 200.0, 50.0, 10_000.0);
+        s.run_until(2_000_000);
+        s.inject(Dynamic::SetTolerance { repo: 0, item: ItemId(0), c: c(0.01) }).unwrap();
+        let (rep, m) = s.run_to_end();
+        assert_eq!(m.messages, 0, "no further source changes, so nothing is pushed");
+        assert!((rep.loss_pct - 80.0).abs() < 1e-6, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn loosened_tolerance_closes_violation_at_injection_instant() {
+        // The 2.0 change at t=1000 opens a violation; its update is still
+        // in flight (comm 5000ms) when the tolerance loosens to 2.0 at
+        // t=3000, closing the interval there: 20% loss.
+        let changes = [(1000u64, ItemId(0), 2.0)];
+        let mut s = tiny_session(&changes, 5_000.0, 12.5, 10_000.0);
+        s.run_until(3_000_000);
+        s.inject(Dynamic::SetTolerance { repo: 0, item: ItemId(0), c: c(2.0) }).unwrap();
+        let (rep, _m) = s.run_to_end();
+        assert!((rep.loss_pct - 20.0).abs() < 1e-6, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn hot_swap_disseminates_like_a_source_change() {
+        // Swap to 5.0 at t=500ms: violation opens at 500, the pushed
+        // update arrives at 500+50+200=750 and closes it: 2.5% loss.
+        let mut s = tiny_session(&[], 200.0, 50.0, 10_000.0);
+        s.run_until(500_000);
+        s.inject(Dynamic::HotSwapItem { item: ItemId(0), value: 5.0 }).unwrap();
+        let (rep, m) = s.run_to_end();
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.source_updates, 1);
+        assert_eq!(m.injected, 1);
+        assert!((rep.loss_pct - 2.5).abs() < 1e-6, "loss {}", rep.loss_pct);
+    }
+
+    #[test]
+    fn injection_interleaves_with_held_back_lookahead() {
+        // run_until(500ms) holds the t=1000ms change in the lookahead
+        // slot; a hot-swap at 500ms schedules an arrival at 750ms that
+        // must be processed *before* the held event.
+        let changes = [(1000u64, ItemId(0), 1.05)];
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, 200.0);
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let engine = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 50.0, 10_000_000);
+        let mut s = Session::from_engine(engine, EventTrace::with_capacity(64));
+        s.run_until(500_000);
+        s.inject(Dynamic::HotSwapItem { item: ItemId(0), value: 5.0 }).unwrap();
+        let (_rep, _m, trace) = s.finish();
+        let times: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                crate::observer::TraceEvent::Delivery { at_us, .. } => Some(at_us),
+                crate::observer::TraceEvent::SourceChange { at_us, .. } => Some(at_us),
+                _ => None,
+            })
+            .collect();
+        let sorted = {
+            let mut v = times.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(times, sorted, "events must replay in global time order: {times:?}");
+        assert!(times.contains(&750_000), "injected arrival delivered at 750ms");
+        assert!(times.contains(&1_000_000), "held-back trace change still processed");
+    }
+
+    #[test]
+    fn invalid_dynamics_are_rejected_without_side_effects() {
+        let mut s = tiny_session(&[(1000, ItemId(0), 1.05)], 10.0, 1.0, 10_000.0);
+        assert_eq!(
+            s.inject(Dynamic::FailRepo { repo: 7 }),
+            Err(DynamicError::UnknownRepo { repo: 7 })
+        );
+        assert_eq!(
+            s.inject(Dynamic::HotSwapItem { item: ItemId(3), value: 1.0 }),
+            Err(DynamicError::UnknownItem { item: ItemId(3) })
+        );
+        assert_eq!(
+            s.inject(Dynamic::HotSwapItem { item: ItemId(0), value: f64::NAN }),
+            Err(DynamicError::NonFiniteValue)
+        );
+        let (rep, m) = s.run_to_end();
+        assert_eq!(m.injected, 0);
+        assert_eq!(rep.loss_pct, 0.0);
+    }
+
+    #[test]
+    fn set_tolerance_on_unmeasured_pair_is_rejected() {
+        // Repo 0 measures item 0 only; item 1 exists but is unmeasured.
+        let w = Workload::from_needs(vec![vec![Some(c(0.1)), None]]);
+        let mut g = D3g::new(1, 2);
+        g.add_edge(SOURCE, NodeIdx::repo(0), ItemId(0), c(0.1));
+        let delays = DelayMatrix::uniform(2, 10.0);
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0, 1.0]);
+        let engine = Engine::new(&g, &w, &delays, d, &[], &[1.0, 1.0], 1.0, 1_000_000);
+        let mut s = Session::from_engine(engine, NoopObserver);
+        assert_eq!(
+            s.inject(Dynamic::SetTolerance { repo: 0, item: ItemId(1), c: c(0.5) }),
+            Err(DynamicError::UnmeasuredPair { repo: 0, item: ItemId(1) })
+        );
+    }
+
+    #[test]
+    fn observer_sees_the_full_event_stream() {
+        let changes = [(1000u64, ItemId(0), 2.0)];
+        let (g, w) = tiny();
+        let delays = DelayMatrix::uniform(2, 200.0);
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let engine = Engine::new(&g, &w, &delays, d, &changes, &[1.0], 50.0, 10_000_000);
+        let s = Session::from_engine(engine, EventTrace::with_capacity(16));
+        let (_rep, m, trace) = s.finish();
+        use crate::observer::TraceEvent as E;
+        let ev = trace.events();
+        assert_eq!(m.messages, 1);
+        assert!(matches!(ev[0], E::SourceChange { at_us: 1_000_000, .. }));
+        assert!(matches!(ev[1], E::Violation { at_us: 1_000_000, open: true, .. }));
+        assert!(matches!(ev[2], E::Send { at_us: 1_000_000, arrival_us: 1_250_000, .. }));
+        assert!(matches!(ev[3], E::Delivery { at_us: 1_250_000, .. }));
+        assert!(matches!(ev[4], E::Violation { at_us: 1_250_000, open: false, .. }));
+        assert_eq!(ev.len(), 5);
+    }
+}

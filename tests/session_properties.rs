@@ -1,0 +1,160 @@
+//! Cross-cutting properties of the Session redesign.
+//!
+//! The contract: **however** a session is driven — sealed `run_to_end`,
+//! one `step()` at a time, `run_until` at arbitrary split points, with or
+//! without an observer attached, on either queue backend — the resulting
+//! `(FidelityReport, Metrics)` is bit-identical to the frozen reference
+//! [`Engine::run`] loop (and therefore to the pre-session simulator,
+//! whose loop that is).
+
+use d3t::core::dissemination::Protocol;
+use d3t::core::fidelity::FidelityReport;
+use d3t::sim::{
+    CalendarQueue, EventKind, EventQueue, EventTrace, HeapQueue, Metrics, NoopObserver, Prepared,
+    SimConfig,
+};
+
+/// Cheap deterministic split-point stream (xorshift64*).
+fn split_points(mut x: u64, n: usize, end_us: u64) -> Vec<u64> {
+    let mut ts: Vec<u64> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % (end_us + 1)
+        })
+        .collect();
+    ts.sort_unstable();
+    ts
+}
+
+/// Drives one prepared run every way the API allows and asserts every
+/// way agrees with the sealed reference engine bit-for-bit.
+fn assert_all_drives_agree<Q: EventQueue<EventKind>>(p: &Prepared, label: &str) {
+    let sealed: (FidelityReport, Metrics) = p.engine::<Q>().run();
+
+    // Sealed session.
+    let by_run = p.session_with::<Q, _>(NoopObserver).run_to_end();
+    assert_eq!(by_run, sealed, "{label}: run_to_end diverged");
+    assert_eq!(format!("{by_run:?}"), format!("{sealed:?}"), "{label}: repr diverged");
+
+    // One event at a time.
+    let mut stepped = p.session_with::<Q, _>(NoopObserver);
+    let mut events = 0u64;
+    while stepped.step().is_some() {
+        events += 1;
+    }
+    assert_eq!(events, sealed.1.events, "{label}: step count diverged");
+    assert_eq!(stepped.run_to_end(), sealed, "{label}: stepped run diverged");
+
+    // run_until at arbitrary (seeded) split points, including repeats.
+    let mut split = p.session_with::<Q, _>(NoopObserver);
+    for t in split_points(0x9E37_79B9_7F4A_7C15 ^ p.end_us, 9, p.end_us) {
+        split.run_until(t);
+        split.run_until(t); // idempotent re-request
+    }
+    assert_eq!(split.run_to_end(), sealed, "{label}: split run diverged");
+
+    // With a recording observer attached: observation must not perturb.
+    let observed = p.session_with::<Q, _>(EventTrace::with_capacity(1 << 16));
+    let (rep, metrics, _trace) = observed.finish();
+    assert_eq!((rep, metrics), sealed, "{label}: observed run diverged");
+
+    // The compatibility wrapper (what `d3t_sim::run` routes through).
+    let report = p.run_with::<Q>();
+    assert_eq!((report.fidelity, report.metrics), sealed, "{label}: run_with diverged");
+}
+
+#[test]
+fn every_drive_mode_matches_the_sealed_engine() {
+    for protocol in [Protocol::Distributed, Protocol::Centralized, Protocol::Naive] {
+        for seed in [0x5EEDu64, 97] {
+            let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+            cfg.protocol = protocol;
+            cfg.seed = seed;
+            let p = Prepared::build(&cfg);
+            assert_all_drives_agree::<CalendarQueue<EventKind>>(
+                &p,
+                &format!("{protocol:?}/seed {seed}/calendar"),
+            );
+            assert_all_drives_agree::<HeapQueue<EventKind>>(
+                &p,
+                &format!("{protocol:?}/seed {seed}/heap"),
+            );
+        }
+    }
+}
+
+#[test]
+fn compat_wrapper_is_bit_identical_across_backends_with_dynamics_free_sessions() {
+    // `run(cfg)` must stay the old sealed semantics regardless of the
+    // backend the config picks.
+    for queue in [d3t::sim::QueueBackend::Calendar, d3t::sim::QueueBackend::Heap] {
+        let mut cfg = SimConfig::small_for_tests(8, 4, 300, 70.0);
+        cfg.queue = queue;
+        let p = Prepared::build(&cfg);
+        let via_run = d3t::sim::run(&cfg);
+        let sealed = match queue {
+            d3t::sim::QueueBackend::Calendar => p.engine::<CalendarQueue<EventKind>>().run(),
+            d3t::sim::QueueBackend::Heap => p.engine::<HeapQueue<EventKind>>().run(),
+        };
+        assert_eq!((via_run.fidelity, via_run.metrics), sealed, "{queue:?}");
+    }
+}
+
+#[test]
+fn dynamics_runs_stay_backend_invariant() {
+    // Injections are part of the deterministic event order, so a churned
+    // run must also be bit-identical across queue backends.
+    use d3t::sim::Dynamic;
+    let cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+    let p = Prepared::build(&cfg);
+    let churn = |session: &mut dyn FnMut(u64, Dynamic)| {
+        let end = p.end_us;
+        session(end * 3 / 10, Dynamic::FailRepo { repo: 2 });
+        // Swap an item the failed repo measures to a far-away value: the
+        // cascade is guaranteed to address it, so the drop path is hit.
+        session(
+            end * 4 / 10,
+            Dynamic::HotSwapItem { item: first_measured_item(&p, 2), value: 1.0e6 },
+        );
+        session(
+            end * 5 / 10,
+            Dynamic::SetTolerance {
+                repo: 0,
+                item: first_measured_item(&p, 0),
+                c: d3t::core::coherency::Coherency::new(0.005),
+            },
+        );
+        session(end * 6 / 10, Dynamic::RecoverRepo { repo: 2 });
+    };
+    let run_churned = |which: d3t::sim::QueueBackend| -> (FidelityReport, Metrics) {
+        match which {
+            d3t::sim::QueueBackend::Calendar => {
+                let mut s = p.session_with::<CalendarQueue<EventKind>, _>(NoopObserver);
+                churn(&mut |t, d| {
+                    s.run_until(t);
+                    s.inject(d).unwrap();
+                });
+                s.run_to_end()
+            }
+            d3t::sim::QueueBackend::Heap => {
+                let mut s = p.session_with::<HeapQueue<EventKind>, _>(NoopObserver);
+                churn(&mut |t, d| {
+                    s.run_until(t);
+                    s.inject(d).unwrap();
+                });
+                s.run_to_end()
+            }
+        }
+    };
+    let cal = run_churned(d3t::sim::QueueBackend::Calendar);
+    let heap = run_churned(d3t::sim::QueueBackend::Heap);
+    assert_eq!(cal, heap);
+    assert_eq!(cal.1.injected, 4);
+    assert!(cal.1.dropped > 0, "the failed relay must have dropped arrivals");
+}
+
+fn first_measured_item(p: &Prepared, repo: usize) -> d3t::core::item::ItemId {
+    p.workload.items_of(repo).next().expect("repo measures something").0
+}
