@@ -27,5 +27,12 @@ done
 # (static vs churn loss, arrivals dropped) and the grep fails CI if the
 # experiment stops emitting it.
 cargo run --release -q -p d3t-experiments --bin repro -- dynamics --tiny | grep -o 'DYNAMICS .*'
+# The fig8/fig11 filtering smoke: one timed cell per dissemination
+# protocol, each emitting a machine-readable FILTER line so the
+# deviation-check path (the batched kernel) is tracked across PRs; CI
+# fails unless all four protocols report.
+filter_out=$(cargo run --release -q -p d3t-experiments --bin repro -- filter --tiny | grep -o 'FILTER .*')
+echo "$filter_out"
+test "$(echo "$filter_out" | grep -c 'FILTER protocol=.* checks=.* checks_per_sec=')" -eq 4
 
 echo "CI green."

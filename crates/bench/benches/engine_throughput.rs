@@ -60,8 +60,14 @@ impl EventQueue<EventKind> for Recorder {
         self.0.push(at_us, seq, item)
     }
     fn pop(&mut self) -> Option<(u64, u64, EventKind)> {
-        TRACE.with(|t| t.borrow_mut().1 += 1);
-        self.0.pop()
+        let popped = self.0.pop();
+        if popped.is_some() {
+            // Count only deliveries: the session's batched drain issues
+            // empty probes (e.g. with a lookahead event held back), which
+            // a replay must not mistake for elements.
+            TRACE.with(|t| t.borrow_mut().1 += 1);
+        }
+        popped
     }
     fn len(&self) -> usize {
         self.0.len()
@@ -94,29 +100,53 @@ fn engine_throughput(c: &mut Criterion) {
     // Record the event trace once (and keep the report for the identity
     // check below).
     let recorded = prepared.run_with::<Recorder>();
-    let (trace, pops) = TRACE.with(|t| std::mem::take(&mut *t.borrow_mut()));
-    let tail = pops - 1; // the engine's terminal pop returns None
+    let (trace, tail) = TRACE.with(|t| std::mem::take(&mut *t.borrow_mut()));
     let total_ops = trace.len() as f64 * 2.0;
 
-    // One timed whole run per backend for the at-a-glance summary, which
-    // doubles as the paper-scale bit-identity assertion.
+    // Timed whole runs per backend (best of three, since the host's
+    // wall-clock noise at this scale swamps single shots) for the
+    // at-a-glance summary, which doubles as the paper-scale bit-identity
+    // assertion.
     let mut reports = Vec::new();
     for name in ["calendar", "heap"] {
-        let start = Instant::now();
-        let report = match name {
-            "calendar" => prepared.run_with::<CalendarQueue<EventKind>>(),
-            _ => prepared.run_with::<HeapQueue<EventKind>>(),
-        };
-        let wall = start.elapsed().as_secs_f64();
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let r = match name {
+                "calendar" => prepared.run_with::<CalendarQueue<EventKind>>(),
+                _ => prepared.run_with::<HeapQueue<EventKind>>(),
+            };
+            best = best.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        let report = report.expect("three timed runs");
         println!(
-            "whole_run/{name}: {} events in {wall:.3}s = {:.2} M events/sec",
+            "whole_run/{name}: {} events in {best:.3}s best-of-3 = {:.2} M events/sec",
             report.metrics.events,
-            report.metrics.events as f64 / wall / 1e6
+            report.metrics.events as f64 / best / 1e6
         );
         reports.push(report);
     }
     assert_eq!(reports[0], reports[1], "backends must agree bit-for-bit");
     assert_eq!(reports[0], recorded, "recorder must not perturb the run");
+
+    // The session path above runs the batched dissemination kernel; the
+    // sealed `Engine::run` loop still drives the allocating scalar
+    // oracle. Their whole-run outputs must stay bit-identical at paper
+    // scale — the acceptance gate for the kernel refactor.
+    let start = Instant::now();
+    let (oracle_fidelity, oracle_metrics) = prepared.engine::<CalendarQueue<EventKind>>().run();
+    let oracle_wall = start.elapsed().as_secs_f64();
+    println!(
+        "whole_run/scalar_oracle_engine: {:.2} M events/sec",
+        oracle_metrics.events as f64 / oracle_wall / 1e6
+    );
+    assert_eq!(
+        (reports[0].fidelity.clone(), reports[0].metrics),
+        (oracle_fidelity, oracle_metrics),
+        "kernel session and scalar-oracle engine must agree bit-for-bit at paper scale"
+    );
     for (name, ops) in [
         ("calendar", replay::<CalendarQueue<u32>>(&trace, tail)),
         ("heap", replay::<HeapQueue<u32>>(&trace, tail)),

@@ -2,16 +2,25 @@
 //!
 //! The source keeps, per item, the list of **unique** coherency tolerances
 //! present anywhere in the d3g, along with the last value disseminated for
-//! each tolerance. On a new value `v` it scans the list (each comparison is
-//! one "check"), finds every tolerance `c` with `|v − last_sent[c]| > c`,
-//! tags the update with the *largest* violated tolerance, records `v` as
-//! the last value sent for every `c ≤ tag`, and pushes the tagged update
-//! into the tree. A repository receiving a tagged update forwards it to
-//! each dependent interested in the item whose tolerance is ≤ the tag.
+//! each tolerance. On a new value `v` it checks every class (each
+//! comparison is one "check" — the scan does not early-exit, so the count
+//! is one evaluation per class, comparable with the per-dependent counts
+//! of the other protocols), finds every tolerance `c` with
+//! `|v − last_sent[c]| > c`, tags the update with the *largest* violated
+//! tolerance, records `v` as the last value sent for every `c ≤ tag`, and
+//! pushes the tagged update into the tree. A repository receiving a tagged
+//! update forwards it to each dependent interested in the item whose
+//! tolerance is ≤ the tag.
 //!
 //! The per-item tolerance list is state the *source* must carry for the
 //! entire system — the scalability cost §6.3.4 measures (Figure 11a shows
 //! ~50% more checks than the distributed approach for the same messages).
+//!
+//! The functions here are the **scalar oracle** half of the protocol; the
+//! hot path runs the batched equivalents in
+//! [`kernel`](super::kernel) ([`tag_scan`](super::kernel::tag_scan) /
+//! [`tag_filter`](super::kernel::tag_filter)), property-tested
+//! bit-identical to these loops.
 
 use crate::item::ItemId;
 use crate::overlay::NodeIdx;
@@ -19,35 +28,32 @@ use crate::overlay::NodeIdx;
 use super::{Coherency, Disseminator, Forwarding, Update};
 
 /// Source-side tagging: returns the largest violated tolerance (if any)
-/// and the number of tolerance-list entries examined.
+/// and the number of tolerance classes examined — always the full list,
+/// one filter evaluation per class.
 ///
-/// The list is kept sorted, so the maximum violated tolerance is found by
-/// scanning from the *least* stringent end and stopping at the first
-/// violation — every check up to and including that one is counted, the
-/// subsequent `last_sent` refresh for covered tolerances is bookkeeping.
+/// The list is kept sorted ascending, so the covered classes (`c ≤ tag`)
+/// whose `last_sent` must refresh are exactly the prefix through the
+/// largest violated index.
 pub(super) fn tag_update(
     d: &mut Disseminator,
     item: ItemId,
     value: f64,
 ) -> (Option<Coherency>, u64) {
     let list = d.source_list_mut(item);
-    let mut checks = 0u64;
-    let mut tag: Option<Coherency> = None;
-    for &(c, last) in list.iter().rev() {
-        checks += 1;
-        if c.violated_by(value, last) {
-            tag = Some(c);
-            break;
+    let checks = list.c.len() as u64;
+    let mut hit: Option<usize> = None;
+    for (j, (&c, &last)) in list.c.iter().zip(list.last.iter()).enumerate() {
+        if Coherency::new(c).violated_by(value, last) {
+            hit = Some(j);
         }
     }
-    if let Some(tag) = tag {
-        for entry in list.iter_mut() {
-            if entry.0 <= tag {
-                entry.1 = value;
-            }
+    match hit {
+        None => (None, checks),
+        Some(k) => {
+            list.last[..=k].fill(value);
+            (Some(Coherency::new(list.c[k])), checks)
         }
     }
-    (tag, checks)
 }
 
 /// Tag-based forwarding performed by every node on the dissemination path
@@ -56,10 +62,11 @@ pub(super) fn forward(d: &mut Disseminator, node: NodeIdx, update: Update) -> Fo
     let tag = update.tag.expect("centralized updates always carry a tag");
     let mut to = Vec::new();
     let mut checks = 0u64;
-    for child in d.children_row(node, update.item) {
+    for e in d.row_range(node, update.item) {
         checks += 1;
-        if child.c <= tag {
-            to.push(child.node);
+        let edge = d.edge(e);
+        if edge.c <= tag.value() {
+            to.push(NodeIdx(edge.node));
         }
     }
     Forwarding { to, update, checks }
@@ -90,8 +97,8 @@ mod tests {
         g.add_edge(SOURCE, NodeIdx::repo(0), ItemId(0), c(0.4));
         g.add_edge(SOURCE, NodeIdx::repo(1), ItemId(0), c(0.1));
         g.add_edge(SOURCE, NodeIdx::repo(2), ItemId(0), c(0.4));
-        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
-        let list = d.source_list_mut(ItemId(0));
+        let d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        let list = d.source_list_pairs(ItemId(0));
         assert_eq!(list.len(), 2);
         assert_eq!(list[0].0, c(0.1));
         assert_eq!(list[1].0, c(0.4));
@@ -123,11 +130,21 @@ mod tests {
     }
 
     #[test]
+    fn tagged_update_checks_every_class_and_every_source_dependent() {
+        let g = star();
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        // 1.2 violates only c=0.1, but both classes are evaluated (no
+        // early exit) plus both source-row dependents against the tag.
+        let f = d.on_source_update(ItemId(0), 1.2);
+        assert_eq!(f.checks, 2 + 2, "2 class checks + 2 tag comparisons");
+    }
+
+    #[test]
     fn last_sent_updates_only_for_covered_tolerances() {
         let g = star();
         let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
         let _ = d.on_source_update(ItemId(0), 1.2); // tag 0.1
-        let list = d.source_list_mut(ItemId(0)).clone();
+        let list = d.source_list_pairs(ItemId(0));
         assert_eq!(list[0].1, 1.2, "c=0.1 refreshed");
         assert_eq!(list[1].1, 1.0, "c=0.4 untouched");
     }

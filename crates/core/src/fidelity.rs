@@ -27,42 +27,51 @@ use crate::item::ItemId;
 use crate::overlay::NodeIdx;
 use crate::workload::Workload;
 
-/// Sentinel for "no open violation interval" (`u64::MAX` cannot start a
-/// real interval: an event at the far end of time closes with length 0
-/// either way).
-const NOT_VIOLATING: u64 = u64::MAX;
-
-/// One measured (repository, item) stream — 40 bytes, so a source tick's
-/// scan over an item's pairs streams through contiguous cache lines.
+/// The hot per-stream state the update calls touch, packed into 16
+/// bytes (four records per cache line, never straddling) so both the
+/// per-arrival access and the per-source-tick slice scan stay cheap.
+///
+/// `c` encodes three things in one float: its **magnitude** is the
+/// tolerance, its **sign bit** marks "a violation interval is open"
+/// (`-0.0` covers the EXACT tolerance), and **NaN** marks an unmeasured
+/// `(repo, item)` slot — NaN fails every violation test and never has
+/// the sign set by a transition, so holes are inert without a branch.
+/// The open interval's start time and the accumulated violation time
+/// live in parallel cold arrays touched only on the (rare) transitions
+/// and in the final report.
 #[derive(Debug, Clone)]
-struct PairState {
-    repo: u32,
-    item: u32,
-    c: Coherency,
+struct PairHot {
+    /// `sign → interval open` | `|c| → tolerance` | `NaN → unmeasured`.
+    c: f64,
     repo_value: f64,
-    /// Start of the open violation interval, or [`NOT_VIOLATING`].
-    violation_started: u64,
-    violation_total_us: u64,
 }
 
 /// Exact interval-accounting fidelity tracker.
 ///
-/// Layout is tuned for the engine's two hot calls: pairs are stored
-/// **item-major and contiguous** (`item_start` offsets), so a source tick
-/// walks one flat slice, and `pair_of` is a flat row-major `[repo][item]`
-/// index, so an arrival is a single lookup with no pointer chasing.
+/// Layout is tuned for the engine's two hot calls, and **indexed
+/// directly by `(item, overlay node)`** — `pairs[item * (n_repos + 1) +
+/// node]`, unmeasured slots carrying a NaN tolerance — so an arrival
+/// reaches its 16-byte hot pair record in one indexed load with *no
+/// pair-table indirection* (the address depends only on the event, which
+/// is what lets the simulator prefetch it a few events ahead), while a
+/// source tick still walks one contiguous slice. Cold state (violation
+/// totals) sits in a parallel array only transitions and the report
+/// read.
 #[derive(Debug, Clone)]
 pub struct FidelityTracker {
     n_repos: usize,
-    n_items: usize,
+    /// Number of measured (non-NaN) slots.
+    n_measured: usize,
     /// Current source value per item.
     source_value: Vec<f64>,
-    /// All measured pairs, grouped by item (repos ascending within each).
-    pairs: Vec<PairState>,
-    /// `pairs[item_start[i]..item_start[i + 1]]` are item `i`'s pairs.
-    item_start: Vec<u32>,
-    /// Flat `[repo][item]` → index into `pairs`, `u32::MAX` if unmeasured.
-    pair_of: Vec<u32>,
+    /// Hot state per `(item, node)` slot, row stride `n_repos + 1`
+    /// (index 0 of each row is the source — always an inert hole).
+    pairs: Vec<PairHot>,
+    /// Cold: start of the slot's open violation interval (valid only
+    /// while the hot record's sign bit is set).
+    violation_started: Vec<u64>,
+    /// Cold: violating time accumulated per slot, µs.
+    violation_total_us: Vec<u64>,
     start_us: u64,
 }
 
@@ -73,39 +82,35 @@ impl FidelityTracker {
         assert_eq!(initial_values.len(), workload.n_items(), "one initial value per item");
         let n_items = workload.n_items();
         let n_repos = workload.n_repos();
-        let mut pairs = Vec::new();
-        let mut item_start = Vec::with_capacity(n_items + 1);
-        let mut pair_of = vec![u32::MAX; n_repos * n_items];
-        let needs: Vec<Vec<(ItemId, Coherency)>> =
-            (0..n_repos).map(|r| workload.items_of(r).collect()).collect();
-        item_start.push(0);
-        for i in 0..n_items {
-            for (repo, need) in needs.iter().enumerate() {
-                // `items_of` yields ascending items; binary search keeps
-                // construction O(items · repos · log items).
-                if let Ok(k) = need.binary_search_by_key(&(i as u32), |(item, _)| item.0) {
-                    pair_of[repo * n_items + i] = pairs.len() as u32;
-                    pairs.push(PairState {
-                        repo: repo as u32,
-                        item: i as u32,
-                        c: need[k].1,
-                        repo_value: initial_values[i],
-                        violation_started: NOT_VIOLATING,
-                        violation_total_us: 0,
-                    });
-                }
+        let stride = n_repos + 1;
+        let mut pairs = Vec::with_capacity(n_items * stride);
+        for &v in initial_values {
+            for _ in 0..stride {
+                pairs.push(PairHot { c: f64::NAN, repo_value: v });
             }
-            item_start.push(pairs.len() as u32);
+        }
+        let mut n_measured = 0usize;
+        for repo in 0..n_repos {
+            for (item, c) in workload.items_of(repo) {
+                pairs[item.index() * stride + repo + 1].c = c.value();
+                n_measured += 1;
+            }
         }
         Self {
             n_repos,
-            n_items,
+            n_measured,
             source_value: initial_values.to_vec(),
+            violation_started: vec![0; pairs.len()],
+            violation_total_us: vec![0; pairs.len()],
             pairs,
-            item_start,
-            pair_of,
             start_us,
         }
+    }
+
+    /// Flat slot of `(item, node)` in the hot array.
+    #[inline]
+    fn slot(&self, item: ItemId, node_index: usize) -> usize {
+        item.index() * (self.n_repos + 1) + node_index
     }
 
     /// Records a new source value at time `at_us` (µs) and re-evaluates
@@ -127,11 +132,44 @@ impl FidelityTracker {
         sink: &mut F,
     ) {
         self.source_value[item.index()] = value;
-        let lo = self.item_start[item.index()] as usize;
-        let hi = self.item_start[item.index() + 1] as usize;
-        for p in &mut self.pairs[lo..hi] {
-            if let Some(opened) = Self::transition(p, at_us, value) {
-                sink(p.repo as usize, ItemId(p.item), opened);
+        // The item's full node row minus the source hole at index 0;
+        // unmeasured holes are NaN-inert.
+        let lo = self.slot(item, 1);
+        let hi = self.slot(item, self.n_repos + 1);
+        let starts = &mut self.violation_started[lo..hi];
+        let totals = &mut self.violation_total_us[lo..hi];
+        let pairs = &mut self.pairs[lo..hi];
+        let n = pairs.len();
+        // Same chunked mask-accumulate shape as the dissemination check
+        // kernel: a branch-free "state must flip" predicate per 8-lane
+        // chunk (the 16-byte records interleave exactly the two floats
+        // the predicate needs), with the scalar interval bookkeeping and
+        // sink reserved for the rare set bits, in ascending slot order.
+        const LANES: usize = 8;
+        let mut base = 0usize;
+        while base + LANES <= n {
+            let mut mask = 0u32;
+            for lane in 0..LANES {
+                let p = &pairs[base + lane];
+                let violating =
+                    (value - p.repo_value).abs() > p.c.abs() + crate::coherency::VALUE_EPSILON;
+                mask |= ((violating != p.c.is_sign_negative()) as u32) << lane;
+            }
+            while mask != 0 {
+                let k = base + mask.trailing_zeros() as usize;
+                let opened =
+                    Self::transition(&mut pairs[k], &mut starts[k], &mut totals[k], at_us, value)
+                        .expect("predicate said the state flips");
+                sink(k, item, opened);
+                mask &= mask - 1;
+            }
+            base += LANES;
+        }
+        for k in base..n {
+            if let Some(opened) =
+                Self::transition(&mut pairs[k], &mut starts[k], &mut totals[k], at_us, value)
+            {
+                sink(k, item, opened);
             }
         }
     }
@@ -153,16 +191,20 @@ impl FidelityTracker {
         sink: &mut F,
     ) {
         assert!(!node.is_source(), "the source has no measured pairs");
-        let repo = node.index() - 1;
-        let idx = self.pair_of[repo * self.n_items + item.index()];
-        if idx == u32::MAX {
-            return;
-        }
         let sv = self.source_value[item.index()];
-        let p = &mut self.pairs[idx as usize];
+        let j = self.slot(item, node.index());
+        let p = &mut self.pairs[j];
+        // Unconditional: an unmeasured (relay-only) slot is NaN-inert,
+        // so recording its value is harmless and branch-free.
         p.repo_value = value;
-        if let Some(opened) = Self::transition(p, at_us, sv) {
-            sink(repo, item, opened);
+        if let Some(opened) = Self::transition(
+            p,
+            &mut self.violation_started[j],
+            &mut self.violation_total_us[j],
+            at_us,
+            sv,
+        ) {
+            sink(node.index() - 1, item, opened);
         }
     }
 
@@ -182,15 +224,23 @@ impl FidelityTracker {
         c: Coherency,
         sink: &mut F,
     ) -> Option<Coherency> {
-        let idx = self.pair_of[repo * self.n_items + item.index()];
-        if idx == u32::MAX {
+        let j = self.slot(item, repo + 1);
+        if self.pairs[j].c.is_nan() {
             return None;
         }
         let sv = self.source_value[item.index()];
-        let p = &mut self.pairs[idx as usize];
-        let old = p.c;
-        p.c = c;
-        if let Some(opened) = Self::transition(p, at_us, sv) {
+        let p = &mut self.pairs[j];
+        let old = Coherency::new(p.c.abs());
+        // Install the new magnitude, carrying the open flag over — the
+        // transition below re-evaluates it at the mutation instant.
+        p.c = if p.c.is_sign_negative() { -c.value() } else { c.value() };
+        if let Some(opened) = Self::transition(
+            p,
+            &mut self.violation_started[j],
+            &mut self.violation_total_us[j],
+            at_us,
+            sv,
+        ) {
             sink(repo, item, opened);
         }
         Some(old)
@@ -199,36 +249,83 @@ impl FidelityTracker {
     /// The tolerance currently in force for a measured pair (`None` when
     /// the repository does not measure the item).
     pub fn tolerance_of(&self, repo: usize, item: ItemId) -> Option<Coherency> {
-        let idx = self.pair_of[repo * self.n_items + item.index()];
-        if idx == u32::MAX {
+        let c = self.pairs[self.slot(item, repo + 1)].c;
+        if c.is_nan() {
             None
         } else {
-            Some(self.pairs[idx as usize].c)
+            Some(Coherency::new(c.abs()))
         }
+    }
+
+    /// Closes `finish`-style any still-open intervals in place (shared by
+    /// nothing else; kept next to `finish` for clarity).
+    fn settle_open_intervals(&mut self, end_us: u64) {
+        for (j, p) in self.pairs.iter_mut().enumerate() {
+            if p.c.is_sign_negative() {
+                self.violation_total_us[j] += end_us - self.violation_started[j];
+                p.c = p.c.abs();
+            }
+        }
+    }
+
+    /// Measured slots in report order (item-major, repositories
+    /// ascending): `(slot, repo, item, tolerance)`.
+    fn measured(&self) -> impl Iterator<Item = (usize, usize, ItemId, Coherency)> + '_ {
+        let stride = self.n_repos + 1;
+        self.pairs.iter().enumerate().filter_map(move |(j, p)| {
+            if p.c.is_nan() {
+                None
+            } else {
+                Some((j, j % stride - 1, ItemId((j / stride) as u32), Coherency::new(p.c.abs())))
+            }
+        })
     }
 
     /// Number of measured (repository, item) pairs.
     pub fn n_pairs(&self) -> usize {
-        self.pairs.len()
+        self.n_measured
+    }
+
+    /// Hints the CPU to pull the pair record an imminent
+    /// [`FidelityTracker::repo_update`] for `(node, item)` will touch —
+    /// the slot address depends only on the event, which is what lets an
+    /// event loop that knows its next few deliveries overlap their cache
+    /// misses. No-op off x86-64; never faults.
+    #[inline]
+    pub fn prefetch_pair(&self, node: NodeIdx, item: ItemId) {
+        crate::prefetch::read(&self.pairs[self.slot(item, node.index())]);
     }
 
     /// Applies the pair's violation-interval state machine at `at_us`.
     /// Returns `Some(true)` when a violation interval opens, `Some(false)`
-    /// when one closes, `None` when the state is unchanged.
+    /// when one closes, `None` when the state is unchanged (always, for a
+    /// NaN-tolerance hole: the test compares false and a hole's sign bit
+    /// is never set). `started`/`total_us` are the pair's cold interval
+    /// bookkeeping, touched only when the state actually flips.
     #[inline]
-    fn transition(p: &mut PairState, at_us: u64, source_value: f64) -> Option<bool> {
-        let violating_now = p.c.violated_by(source_value, p.repo_value);
-        if p.violation_started == NOT_VIOLATING {
-            if violating_now {
-                p.violation_started = at_us;
-                return Some(true);
-            }
-        } else if !violating_now {
-            p.violation_total_us += at_us - p.violation_started;
-            p.violation_started = NOT_VIOLATING;
-            return Some(false);
+    fn transition(
+        p: &mut PairHot,
+        started: &mut u64,
+        total_us: &mut u64,
+        at_us: u64,
+        source_value: f64,
+    ) -> Option<bool> {
+        // Raw Eq.-3 test (`Coherency::violated_by` on the magnitude):
+        // NaN tolerance compares false, keeping holes closed forever.
+        let violating_now =
+            (source_value - p.repo_value).abs() > p.c.abs() + crate::coherency::VALUE_EPSILON;
+        if violating_now == p.c.is_sign_negative() {
+            return None;
         }
-        None
+        if violating_now {
+            *started = at_us;
+            p.c = -p.c.abs();
+            Some(true)
+        } else {
+            *total_us += at_us - *started;
+            p.c = p.c.abs();
+            Some(false)
+        }
     }
 
     /// Closes all open violation intervals at `end_us` (µs) and produces
@@ -236,29 +333,19 @@ impl FidelityTracker {
     pub fn finish(mut self, end_us: u64) -> FidelityReport {
         assert!(end_us >= self.start_us, "end must not precede start");
         let duration_us = end_us - self.start_us;
-        for p in &mut self.pairs {
-            if p.violation_started != NOT_VIOLATING {
-                p.violation_total_us += end_us - p.violation_started;
-                p.violation_started = NOT_VIOLATING;
-            }
-        }
+        self.settle_open_intervals(end_us);
         let mut per_repo_loss = vec![0.0f64; self.n_repos];
         let mut per_repo_n = vec![0usize; self.n_repos];
-        let mut pair_losses = Vec::with_capacity(self.pairs.len());
-        for p in &self.pairs {
+        let mut pair_losses = Vec::with_capacity(self.n_measured);
+        for (j, repo, item, coherency) in self.measured() {
             let loss = if duration_us > 0 {
-                (p.violation_total_us as f64 / duration_us as f64).clamp(0.0, 1.0) * 100.0
+                (self.violation_total_us[j] as f64 / duration_us as f64).clamp(0.0, 1.0) * 100.0
             } else {
                 0.0
             };
-            per_repo_loss[p.repo as usize] += loss;
-            per_repo_n[p.repo as usize] += 1;
-            pair_losses.push(PairLoss {
-                repo: p.repo as usize,
-                item: ItemId(p.item),
-                coherency: p.c,
-                loss_pct: loss,
-            });
+            per_repo_loss[repo] += loss;
+            per_repo_n[repo] += 1;
+            pair_losses.push(PairLoss { repo, item, coherency, loss_pct: loss });
         }
         let repo_loss: Vec<f64> = per_repo_loss
             .iter()

@@ -187,6 +187,22 @@ impl DelayMicros {
         &self.us[a.index() * self.n..(a.index() + 1) * self.n]
     }
 
+    /// The smallest delay between two *distinct* overlay nodes, µs
+    /// (`u64::MAX` for a 0/1-node overlay). A lower bound on how far in
+    /// the future any transmission can land — what lets the simulator
+    /// pop a short run of already-ordered events ahead of time.
+    pub fn min_offdiag_us(&self) -> u64 {
+        let mut min = u64::MAX;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    min = min.min(self.us[a * self.n + b]);
+                }
+            }
+        }
+        min
+    }
+
     /// Number of overlay nodes covered.
     pub fn len(&self) -> usize {
         self.n

@@ -32,6 +32,7 @@ pub mod graph;
 pub mod item;
 pub mod lela;
 pub mod overlay;
+mod prefetch;
 pub mod pull;
 pub mod workload;
 

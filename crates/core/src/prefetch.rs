@@ -1,0 +1,14 @@
+//! A portable best-effort cache-prefetch hint.
+
+/// Requests a read prefetch of the cache line holding `p` (T0 locality).
+/// Compiles to `prefetcht0` on x86-64 and to nothing elsewhere; purely a
+/// performance hint — it never faults, whatever the pointer state.
+#[inline(always)]
+pub(crate) fn read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}

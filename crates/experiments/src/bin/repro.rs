@@ -8,6 +8,7 @@
 //! repro all --serial              # disable the parallel fan-out
 //! repro all --queue heap          # schedule on the heap fallback
 //! repro smoke                     # one timed run, machine-readable line
+//! repro filter                    # timed run per protocol, FILTER lines
 //! repro list                      # enumerate experiment ids
 //! ```
 //!
@@ -16,6 +17,15 @@
 //!
 //! ```text
 //! SMOKE queue=calendar events=243210 wall_us=181034 events_per_sec=1343448
+//! ```
+//!
+//! `filter` runs the fig8/fig11 filtering smoke — one base-config cell
+//! per dissemination protocol — and prints one machine-readable line per
+//! protocol so the deviation-check path (the batched kernel) is tracked
+//! across PRs like `SMOKE`/`DYNAMICS`:
+//!
+//! ```text
+//! FILTER protocol=distributed checks=1796242 checks_per_sec=10683185
 //! ```
 //!
 //! Requested experiments fan out over the parallel sweep runner
@@ -96,12 +106,38 @@ fn smoke(scale: &Scale) {
     );
 }
 
+/// One timed base-config run per protocol; the `FILTER` lines CI greps
+/// for check-path throughput tracking (the fig8 flood baseline and the
+/// fig11 centralized/distributed comparison at matched workloads).
+fn filter_smoke(scale: &Scale) {
+    use d3t_core::dissemination::Protocol;
+    for (name, protocol) in [
+        ("flood", Protocol::FloodAll),
+        ("naive", Protocol::Naive),
+        ("distributed", Protocol::Distributed),
+        ("centralized", Protocol::Centralized),
+    ] {
+        let mut cfg = scale.base_config();
+        cfg.protocol = protocol;
+        let prepared = d3t_sim::Prepared::build(&cfg);
+        let start = Instant::now();
+        let report = prepared.run();
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let checks = report.metrics.total_checks();
+        println!(
+            "FILTER protocol={name} checks={checks} checks_per_sec={}",
+            (checks as f64 / wall).round() as u64
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
     let mut serial = false;
     let mut run_smoke = false;
+    let mut run_filter = false;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -119,6 +155,7 @@ fn main() {
                 });
             }
             "smoke" => run_smoke = true,
+            "filter" => run_filter = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -144,14 +181,19 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke {
+    if run_smoke || run_filter {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke` runs a single timed cell and cannot be combined with experiment ids"
+                "`smoke`/`filter` run timed cells and cannot be combined with experiment ids"
             );
             std::process::exit(2);
         }
-        smoke(&scale);
+        if run_smoke {
+            smoke(&scale);
+        }
+        if run_filter {
+            filter_smoke(&scale);
+        }
         return;
     }
     if wanted.is_empty() {

@@ -25,14 +25,22 @@
 //! type parameter, so the [`NoopObserver`] session monomorphizes to the
 //! reference loop (the `observer_overhead` bench pins the difference
 //! below noise).
+//!
+//! The session is also the **allocation-free hot path**: forwarding
+//! decisions go through the disseminator's batched check kernel
+//! (`on_source_update_into` / `on_repo_update_into`) into a reusable
+//! [`ForwardScratch`], so the steady-state deliver loop never touches
+//! the heap. [`Engine::run`] deliberately keeps driving the allocating
+//! scalar-oracle methods — the bit-identity property tests therefore
+//! cross-check the kernel against the oracle on every full run.
 
-use d3t_core::dissemination::{Disseminator, Update};
+use d3t_core::dissemination::{Disseminator, ForwardScratch, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
 use d3t_core::lela::DelayMicros;
 use d3t_core::overlay::{NodeIdx, SOURCE};
 
 use crate::dynamics::{Dynamic, DynamicError};
-use crate::engine::{Engine, EventKind};
+use crate::engine::{Engine, Event, EventKind};
 use crate::metrics::Metrics;
 use crate::observer::{NoopObserver, Observer};
 use crate::queue::{CalendarQueue, EventQueue};
@@ -58,6 +66,18 @@ pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Obser
     /// One event popped past a `run_until` boundary, waiting to be
     /// re-interleaved (injections may schedule ahead of it).
     lookahead: Option<(u64, u64, EventKind)>,
+    /// Reused forwarding-decision buffer: the disseminator's batched
+    /// check kernel fills it in place, so the steady-state deliver path
+    /// performs zero heap allocations (the sealed reference engine keeps
+    /// allocating per event — it drives the scalar oracle).
+    scratch: ForwardScratch,
+    /// How far ahead of the earliest pending event the drain loop may
+    /// pop a run of events before processing any of them: every
+    /// transmission scheduled by processing an event at `t` arrives at
+    /// or after `t + comp_delay + min link delay`, so events inside that
+    /// window are already in final order whatever the batch does. `0`
+    /// disables batching (zero-delay configurations).
+    batch_window_us: u64,
 }
 
 impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
@@ -66,7 +86,10 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// shared path — a session starts from exactly the state
     /// [`Engine::run`] would have started from.
     pub fn from_engine(engine: Engine<Q>, observer: O) -> Self {
+        let batch_window_us =
+            engine.comp_delay_us.saturating_add(engine.delays_us.min_offdiag_us());
         Self {
+            batch_window_us,
             delays_us: engine.delays_us,
             comp_delay_us: engine.comp_delay_us,
             disseminator: engine.disseminator,
@@ -79,6 +102,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             observer,
             now_us: 0,
             lookahead: None,
+            scratch: ForwardScratch::new(),
         }
     }
 
@@ -124,7 +148,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// the event time.
     pub fn step(&mut self) -> Option<(u64, EventKind)> {
         let (at_us, _seq, kind) = self.next_event()?;
-        self.process(at_us, kind);
+        self.process(at_us, kind, 0);
         Some((at_us, kind))
     }
 
@@ -141,7 +165,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 self.stash(ev);
                 break;
             }
-            self.process(ev.0, ev.2);
+            self.process(ev.0, ev.2, 0);
             processed += 1;
         }
         self.now_us = self.now_us.max(t_us);
@@ -175,10 +199,62 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// [`Session::run_to_end`] returning the observer (and whatever it
     /// collected) alongside the report.
     pub fn finish(mut self) -> (FidelityReport, Metrics, O) {
-        while self.step().is_some() {}
+        self.drain();
         let Self { fidelity, metrics, mut observer, end_us, .. } = self;
         observer.on_end(end_us);
         (fidelity.finish(end_us), metrics, observer)
+    }
+
+    /// Drains every remaining event — the hot loop behind
+    /// [`Session::finish`] / [`Session::run_to_end`].
+    ///
+    /// Events are popped in short **batches** inside the safety window
+    /// (`batch_window_us`): processing an event at `t` can only schedule
+    /// arrivals at or after `t + comp_delay + min link delay`, so a run
+    /// of events closer together than that is already in its final order
+    /// — nothing processing them can schedule may interleave. Knowing
+    /// the next few events up front lets the loop *prefetch* the
+    /// scattered per-(node, item) state they will touch, overlapping
+    /// cache misses that a strict pop-process-pop chain serializes.
+    /// Processing order — and therefore every observable — is exactly
+    /// the one-at-a-time order; the property tests pin it against the
+    /// sealed reference engine.
+    fn drain(&mut self) {
+        const BATCH: usize = 16;
+        if self.batch_window_us == 0 {
+            while self.step().is_some() {}
+            return;
+        }
+        loop {
+            let Some(first) = self.next_event() else { return };
+            let mut batch = [first; BATCH];
+            let limit = first.0.saturating_add(self.batch_window_us);
+            let mut n = 1;
+            while n < BATCH {
+                match self.next_event() {
+                    None => break,
+                    Some(ev) if ev.0 < limit => {
+                        batch[n] = ev;
+                        n += 1;
+                    }
+                    Some(ev) => {
+                        self.stash(ev);
+                        break;
+                    }
+                }
+            }
+            for &(_, _, kind) in &batch[1..n] {
+                if let Event::Arrival { node, update } = kind.classify() {
+                    self.disseminator.prefetch_row(node, update.item);
+                    self.fidelity.prefetch_pair(node, update.item);
+                }
+            }
+            for (i, &(at_us, _, kind)) in batch[..n].iter().enumerate() {
+                // Events the batch still holds are pending from any
+                // observer's point of view.
+                self.process(at_us, kind, n - 1 - i);
+            }
+        }
     }
 
     /// Applies a [`Dynamic`] at the session's current time. Violation
@@ -268,16 +344,19 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
 
     /// One event through the full pipeline — the body of the reference
     /// engine's loop, with observer taps and the liveness gate added.
-    fn process(&mut self, at_us: u64, kind: EventKind) {
+    /// `held` counts events a batching driver has popped but not yet
+    /// processed, so `on_event`'s pending sample stays identical to a
+    /// one-at-a-time drive.
+    fn process(&mut self, at_us: u64, kind: EventKind, held: usize) {
         self.metrics.events += 1;
         self.now_us = at_us;
-        match kind {
-            EventKind::SourceChange { item, value } => {
+        match kind.classify() {
+            Event::SourceChange { item, value } => {
                 self.metrics.source_updates += 1;
                 self.observer.on_source_change(at_us, item, value);
                 self.apply_source_change(at_us, item, value);
             }
-            EventKind::Arrival { node, update } => {
+            Event::Arrival { node, update } => {
                 if !self.disseminator.is_active(node) {
                     self.metrics.dropped += 1;
                     self.observer.on_dropped(at_us, node, &update);
@@ -298,13 +377,18 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                             }
                         },
                     );
-                    let fwd = self.disseminator.on_repo_update(node, update);
-                    self.metrics.repo_checks += fwd.checks;
-                    self.transmit(node, at_us, fwd.update, &fwd.to);
+                    // Take the scratch out of `self` for the duration of
+                    // the decision + transmit (a pointer move, not an
+                    // allocation) so the disjoint borrows stay obvious.
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.disseminator.on_repo_update_into(node, update, &mut scratch);
+                    self.metrics.repo_checks += scratch.checks();
+                    self.transmit(node, at_us, scratch.update(), scratch.to());
+                    self.scratch = scratch;
                 }
             }
         }
-        self.observer.on_event(at_us, self.pending());
+        self.observer.on_event(at_us, self.pending() + held);
     }
 
     /// Fidelity + filtering + dissemination of one source-side value,
@@ -319,9 +403,11 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 observer.on_violation_close(at_us, repo, it);
             }
         });
-        let fwd = self.disseminator.on_source_update(item, value);
-        self.metrics.source_checks += fwd.checks;
-        self.transmit(SOURCE, at_us, fwd.update, &fwd.to);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.disseminator.on_source_update_into(item, value, &mut scratch);
+        self.metrics.source_checks += scratch.checks();
+        self.transmit(SOURCE, at_us, scratch.update(), scratch.to());
+        self.scratch = scratch;
     }
 
     /// Serially prepares and sends `update` from `node` to each
@@ -342,7 +428,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 self.metrics.undelivered += 1;
                 continue;
             }
-            self.queue.push(arrival_us, self.next_seq, EventKind::Arrival { node: child, update });
+            self.queue.push(arrival_us, self.next_seq, EventKind::arrival(child, update));
             self.next_seq += 1;
         }
         self.busy_until_us[node.index()] = cpu;

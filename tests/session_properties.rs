@@ -6,6 +6,15 @@
 //! `(FidelityReport, Metrics)` is bit-identical to the frozen reference
 //! [`Engine::run`] loop (and therefore to the pre-session simulator,
 //! whose loop that is).
+//!
+//! Since the allocation-free dissemination kernel landed, this identity
+//! carries extra weight: the session runs the **batched kernel path**
+//! (`on_*_update_into` into a reused scratch, batch-popped drain) while
+//! `Engine::run` still drives the allocating **scalar-oracle** methods —
+//! so every assertion here is also a whole-run cross-check of kernel vs.
+//! oracle, across all four protocols × seeds × both queue backends ×
+//! every drive mode. (`tests/kernel_properties.rs` pins the same
+//! equivalence decision by decision.)
 
 use d3t::core::dissemination::Protocol;
 use d3t::core::fidelity::FidelityReport;
@@ -67,7 +76,9 @@ fn assert_all_drives_agree<Q: EventQueue<EventKind>>(p: &Prepared, label: &str) 
 
 #[test]
 fn every_drive_mode_matches_the_sealed_engine() {
-    for protocol in [Protocol::Distributed, Protocol::Centralized, Protocol::Naive] {
+    for protocol in
+        [Protocol::Distributed, Protocol::Centralized, Protocol::Naive, Protocol::FloodAll]
+    {
         for seed in [0x5EEDu64, 97] {
             let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
             cfg.protocol = protocol;
