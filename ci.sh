@@ -17,12 +17,16 @@ cargo test -q
 
 echo "== repro smoke =="
 cargo run --release -p d3t-experiments --bin repro -- fig4 --tiny > /dev/null
-# One timed base-config run per scheduler backend; the SMOKE lines are
-# machine-readable (events processed, wall µs, events/sec) so event-loop
-# throughput is a tracked number across PRs.
-for queue in calendar heap; do
-    cargo run --release -q -p d3t-experiments --bin repro -- smoke --queue "$queue"
-done
+# One timed base-config run per scheduler backend, emitting both tracked
+# formats from the same runs: the greppable SMOKE lines (events
+# processed, wall µs, events/sec — the cross-PR throughput trail) and
+# the structured BENCH_queue.json artifact (adds hot-tier queue-ops/s
+# and slot bytes). The greps fail CI if either backend stops reporting.
+queue_out=$(cargo run --release -q -p d3t-experiments --bin repro -- queue-json)
+echo "$queue_out" | grep '^SMOKE'
+test "$(echo "$queue_out" | grep -c '^SMOKE queue=.* events=.* wall_us=.* events_per_sec=')" -eq 2
+echo "$queue_out" | grep -v '^SMOKE' > BENCH_queue.json
+test "$(grep -c '"queue": "\(calendar\|heap\)"' BENCH_queue.json)" -eq 2
 # One failure-burst dynamics run; the DYNAMICS line is machine-readable
 # (static vs churn loss, arrivals dropped) and the grep fails CI if the
 # experiment stops emitting it.
@@ -34,5 +38,6 @@ cargo run --release -q -p d3t-experiments --bin repro -- dynamics --tiny | grep 
 filter_out=$(cargo run --release -q -p d3t-experiments --bin repro -- filter --tiny | grep -o 'FILTER .*')
 echo "$filter_out"
 test "$(echo "$filter_out" | grep -c 'FILTER protocol=.* checks=.* checks_per_sec=')" -eq 4
+cat BENCH_queue.json
 
 echo "CI green."

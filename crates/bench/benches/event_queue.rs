@@ -15,6 +15,10 @@
 //!   every event transits the overflow heap *and* the calendar tier, so
 //!   the queue does strictly more work than a heap alone. An engine run
 //!   is seed + churn, so it lives in the `steady_state` column.
+//! * `bulk_steady_state` — the same held-pending traffic driven through
+//!   the bulk contract (`pop_run` reorder-free runs + `push_batch` send
+//!   groups), measuring what the batched entry points save over scalar
+//!   push/pop at identical traffic.
 //!
 //! Distributions: `uniform` over a 10⁴-second horizon, `bursty` (tight
 //! clusters plus rare far outliers — exercises the overload width shrink
@@ -57,7 +61,7 @@ fn seed_drain<Q: EventQueue<u64>>(keys: &[u64]) -> u64 {
         q.push(at, seq as u64, seq as u64);
     }
     let mut acc = 0u64;
-    while let Some((at, _, _)) = q.pop() {
+    while let Some((at, _)) = q.pop() {
         acc ^= at;
     }
     acc
@@ -73,9 +77,48 @@ fn steady_state<Q: EventQueue<u64>>(keys: &[u64], rounds: usize) -> u64 {
     let mut acc = 0u64;
     for i in 0..rounds as u64 {
         let seq = keys.len() as u64 + i;
-        let (at, _, _) = q.pop().expect("steady-state queue never empties");
+        let (at, _) = q.pop().expect("steady-state queue never empties");
         acc ^= at;
         q.push(at + 1 + (i * 2_654_435_761) % 500_000, seq, seq);
+    }
+    acc
+}
+
+/// The engine's real traffic shape through the bulk entry points: pop a
+/// reorder-free run of up to 16 events, then push a send group of as
+/// many near-future arrivals, holding the pending set at `keys.len()`.
+/// Compare against `steady_state` to see what the batched contract
+/// saves over scalar push/pop at identical traffic.
+fn bulk_steady_state<Q: EventQueue<u64>>(keys: &[u64], rounds: usize) -> u64 {
+    const WINDOW_US: u64 = 14_500; // the paper config's comp + min link
+    let mut q = Q::with_capacity(keys.len());
+    for (seq, &at) in keys.iter().enumerate() {
+        q.push(at, seq as u64, seq as u64);
+    }
+    let mut seq = keys.len() as u64;
+    let mut acc = 0u64;
+    let mut run: Vec<(u64, u64)> = Vec::with_capacity(16);
+    let mut group: Vec<(u64, u64)> = Vec::with_capacity(8);
+    let mut i = 0u64;
+    let mut done = 0usize;
+    while done < rounds {
+        run.clear();
+        let n = q.pop_run(WINDOW_US, u64::MAX, 16, &mut run);
+        if n == 0 {
+            break;
+        }
+        done += n;
+        let &(last_at, _) = run.last().expect("non-empty run");
+        for &(at, _) in &run {
+            acc ^= at;
+        }
+        group.clear();
+        for _ in 0..n {
+            i += 1;
+            group.push((last_at + 1 + (i * 2_654_435_761) % 500_000, seq + group.len() as u64));
+        }
+        q.push_batch(seq, &group);
+        seq += group.len() as u64;
     }
     acc
 }
@@ -112,6 +155,21 @@ fn bench_steady_state(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bulk_steady_state(c: &mut Criterion) {
+    let rounds = 100_000;
+    let mut group = c.benchmark_group("event_queue/bulk_steady_state/uniform");
+    for &n in SIZES {
+        let keys = stream("uniform", n);
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, _| {
+            b.iter(|| black_box(bulk_steady_state::<CalendarQueue<u64>>(&keys, rounds)));
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
+            b.iter(|| black_box(bulk_steady_state::<HeapQueue<u64>>(&keys, rounds)));
+        });
+    }
+    group.finish();
+}
+
 fn config() -> criterion::Criterion {
     criterion::Criterion::default()
         .sample_size(10)
@@ -122,6 +180,6 @@ fn config() -> criterion::Criterion {
 criterion::criterion_group! {
     name = benches;
     config = config();
-    targets = bench_seed_drain, bench_steady_state
+    targets = bench_seed_drain, bench_steady_state, bench_bulk_steady_state
 }
 criterion::criterion_main!(benches);

@@ -154,13 +154,18 @@ impl DelayMatrix {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DelayMicros {
     n: usize,
-    us: Vec<u64>,
+    /// `u32` cells, not `u64`: the matrix is the event loop's largest
+    /// gather target (n² entries touched once per message), so halving
+    /// the cell halves the cache lines the sends stream through. 2³² µs
+    /// is ~71 minutes of one-way delay — far beyond any physical
+    /// configuration; construction asserts the fit.
+    us: Vec<u32>,
 }
 
 impl DelayMicros {
     /// Rounds every pair of `delays` into µs. `n` is the overlay size.
     pub fn from_delays<D: OverlayDelays + ?Sized>(delays: &D, n: usize) -> Self {
-        let mut us = vec![0u64; n * n];
+        let mut us = vec![0u32; n * n];
         for a in 0..n {
             for b in 0..n {
                 let ms = delays.delay_ms(NodeIdx(a as u32), NodeIdx(b as u32));
@@ -168,7 +173,12 @@ impl DelayMicros {
                     ms.is_finite() && ms >= 0.0,
                     "overlay delay {a}->{b} must be finite and >= 0, got {ms}"
                 );
-                us[a * n + b] = (ms * 1000.0).round() as u64;
+                let rounded = (ms * 1000.0).round() as u64;
+                assert!(
+                    rounded <= u32::MAX as u64,
+                    "overlay delay {a}->{b} of {ms} ms exceeds the u32-µs cell (~71 min)"
+                );
+                us[a * n + b] = rounded as u32;
             }
         }
         Self { n, us }
@@ -177,14 +187,22 @@ impl DelayMicros {
     /// One-way delay between two overlay nodes, µs.
     #[inline]
     pub fn us(&self, a: NodeIdx, b: NodeIdx) -> u64 {
-        self.us[a.index() * self.n + b.index()]
+        u64::from(self.us[a.index() * self.n + b.index()])
     }
 
-    /// All one-way delays out of `a`, indexed by destination — lets a
-    /// sender's fan-out loop hoist the row lookup.
+    /// All one-way delays out of `a` in µs, indexed by destination —
+    /// lets a sender's fan-out loop hoist the row lookup.
     #[inline]
-    pub fn row(&self, a: NodeIdx) -> &[u64] {
+    pub fn row(&self, a: NodeIdx) -> &[u32] {
         &self.us[a.index() * self.n..(a.index() + 1) * self.n]
+    }
+
+    /// Hints the CPU to pull the `a → b` delay cell — lets an event loop
+    /// that already knows its recipients overlap the matrix gather with
+    /// unrelated work. No-op off x86-64; never faults.
+    #[inline]
+    pub fn prefetch(&self, a: NodeIdx, b: NodeIdx) {
+        crate::prefetch::read(&self.us[a.index() * self.n + b.index()]);
     }
 
     /// The smallest delay between two *distinct* overlay nodes, µs
@@ -196,7 +214,7 @@ impl DelayMicros {
         for a in 0..self.n {
             for b in 0..self.n {
                 if a != b {
-                    min = min.min(self.us[a * self.n + b]);
+                    min = min.min(u64::from(self.us[a * self.n + b]));
                 }
             }
         }

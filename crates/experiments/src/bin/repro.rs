@@ -9,6 +9,7 @@
 //! repro all --queue heap          # schedule on the heap fallback
 //! repro smoke                     # one timed run, machine-readable line
 //! repro filter                    # timed run per protocol, FILTER lines
+//! repro queue-json                # per-backend queue perf as one JSON doc
 //! repro list                      # enumerate experiment ids
 //! ```
 //!
@@ -106,6 +107,57 @@ fn smoke(scale: &Scale) {
     );
 }
 
+/// One timed base-config run per scheduler backend, emitting **both**
+/// machine-readable formats from the same runs (so CI pays for each
+/// backend once): the per-backend `SMOKE` grep lines, and one JSON
+/// document — `ci.sh` splits the two and lands the JSON in
+/// `BENCH_queue.json`, so the queue's perf trajectory (events/s,
+/// hot-tier queue ops/s, slot bytes) is a structured artifact across
+/// PRs. Serde is still a no-op shim in this build environment, so the
+/// document is rendered by hand; the shape is stable and additive.
+fn queue_json(scale: &Scale) {
+    use d3t_sim::{CalendarQueue, EventKind, EventQueue, HeapQueue, Prepared};
+    let prepared = Prepared::build(&scale.base_config());
+    println!("{{");
+    println!(
+        "  \"scale\": {{\"repos\": {}, \"items\": {}, \"ticks\": {}, \"seed\": {}}},",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    println!("  \"backends\": [");
+    for (i, name) in ["calendar", "heap"].iter().enumerate() {
+        let start = Instant::now();
+        let (report, slot_bytes) = match *name {
+            "calendar" => (
+                prepared.run_with::<CalendarQueue<EventKind>>(),
+                <CalendarQueue<EventKind> as EventQueue<EventKind>>::SLOT_BYTES,
+            ),
+            _ => (
+                prepared.run_with::<HeapQueue<EventKind>>(),
+                <HeapQueue<EventKind> as EventQueue<EventKind>>::SLOT_BYTES,
+            ),
+        };
+        let wall_us = start.elapsed().as_micros().max(1) as u64;
+        let events = report.metrics.events;
+        let events_per_sec = (events as f64 / (wall_us as f64 / 1e6)).round() as u64;
+        // One hot-tier push + pop per delivered message (the pre-seeded
+        // source stream is merged, not enqueued).
+        let queue_ops = 2 * (report.metrics.messages - report.metrics.undelivered);
+        let queue_ops_per_sec = (queue_ops as f64 / (wall_us as f64 / 1e6)).round() as u64;
+        println!(
+            "SMOKE queue={name} events={events} wall_us={wall_us} \
+             events_per_sec={events_per_sec}"
+        );
+        let comma = if i == 0 { "," } else { "" };
+        println!(
+            "    {{\"queue\": \"{name}\", \"slot_bytes\": {slot_bytes}, \"events\": {events}, \
+             \"wall_us\": {wall_us}, \"events_per_sec\": {events_per_sec}, \
+             \"queue_ops\": {queue_ops}, \"queue_ops_per_sec\": {queue_ops_per_sec}}}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
 /// One timed base-config run per protocol; the `FILTER` lines CI greps
 /// for check-path throughput tracking (the fig8 flood baseline and the
 /// fig11 centralized/distributed comparison at matched workloads).
@@ -138,6 +190,7 @@ fn main() {
     let mut serial = false;
     let mut run_smoke = false;
     let mut run_filter = false;
+    let mut run_queue_json = false;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -156,6 +209,7 @@ fn main() {
             }
             "smoke" => run_smoke = true,
             "filter" => run_filter = true,
+            "queue-json" => run_queue_json = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -181,10 +235,11 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke || run_filter {
+    if run_smoke || run_filter || run_queue_json {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke`/`filter` run timed cells and cannot be combined with experiment ids"
+                "`smoke`/`filter`/`queue-json` run timed cells and cannot be combined with \
+                 experiment ids"
             );
             std::process::exit(2);
         }
@@ -193,6 +248,9 @@ fn main() {
         }
         if run_filter {
             filter_smoke(&scale);
+        }
+        if run_queue_json {
+            queue_json(&scale);
         }
         return;
     }

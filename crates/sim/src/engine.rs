@@ -58,42 +58,54 @@
 //! * Events are ordered by `(time_us, sequence number)`; ties resolve in
 //!   creation order. The scheduler is pluggable behind the
 //!   [`EventQueue`](crate::queue::EventQueue) trait and defaults to the
-//!   two-tier [`CalendarQueue`]: the exact integer keys make events
-//!   *bucketable*, so the churn of in-flight arrivals is absorbed by a
-//!   small cache-hot calendar year around the cursor at amortized `O(1)`,
-//!   while the pre-seeded far-future source changes wait in a min-heap
-//!   overflow tier they transit exactly twice. The
-//!   [`HeapQueue`](crate::queue::HeapQueue) fallback pays `O(log
-//!   pending)` branchy comparisons per operation instead — with every
-//!   source change pre-seeded, `pending` starts in the hundreds of
-//!   thousands at paper scale, and that `log n` walk over a
-//!   multi-megabyte array used to dominate the event loop.
-//! * The calendar's bucket width and count are powers of two and adapt
-//!   automatically (see [`crate::queue`] for the bucket math, the year
-//!   boundary, and the feedback signals). Ordering is bit-identical to
-//!   the heap on every input — property-tested against it — so the
-//!   backend choice ([`QueueBackend`](crate::queue::QueueBackend),
-//!   plumbed through `SimConfig::queue`) changes wall clock only, never
-//!   results. Measured at 600 repositories / 100 items / 10k ticks
-//!   (`engine_throughput` bench): ~2.5× the heap's scheduling throughput
-//!   on the engine's recorded event trace, ~1.6× on the whole run (the
-//!   remainder is protocol + fidelity work shared by both backends).
+//!   two-tier [`CalendarQueue`]; the
+//!   [`HeapQueue`](crate::queue::HeapQueue) oracle stays selectable.
+//!   Ordering is bit-identical across backends on every input —
+//!   property-tested — so the backend choice
+//!   ([`QueueBackend`](crate::queue::QueueBackend), plumbed through
+//!   `SimConfig::queue`) changes wall clock only, never results.
+//! * **The pre-seeded source changes never enter the queue.** They are
+//!   compiled at construction into a time-sorted `(at_us, payload)`
+//!   stream that the run loops *merge* with the queue: every pre-seeded
+//!   stamp is below every arrival stamp, so "stream head wins time
+//!   ties" reproduces the total `(time, creation)` order exactly, via
+//!   the queue's strictly-capped `pop_lt` / `pop_run` primitives. A
+//!   million seeded changes at paper scale thus cost two sequential
+//!   array reads each instead of two transits of a multi-megabyte
+//!   overflow heap — the queue holds only the in-flight arrivals
+//!   (thousands), keeping both backends cache-resident.
+//! * Queue traffic is sized and batched for memory bandwidth: the
+//!   payload is packed to 16 bytes ([`EventKind`], with centralized
+//!   tags NaN-boxed through a [`TagTable`] side table), a calendar slot
+//!   carries **no seq tie-breaker** and totals 24 bytes (down from 40 —
+//!   both pinned by compile-time asserts below), the session's transmit
+//!   enqueues each send group with one
+//!   [`push_batch`](crate::queue::EventQueue::push_batch), and its
+//!   drain pops reorder-free runs with one
+//!   [`pop_run`](crate::queue::EventQueue::pop_run) inside the
+//!   `comp_delay + min link delay` safety window, prefetching the
+//!   per-event state the run will touch. See [`crate::queue`] for the
+//!   bucket math and the stability argument behind the seq drop.
 //! * The per-event protocol and accounting state is laid out flat and
 //!   hot/cold split: the disseminator walks one 32-byte row record plus
 //!   one interleaved CSR edge run per decision (the batched check
 //!   kernel — see `d3t_core::dissemination::kernel`), and the fidelity
 //!   tracker reaches its 16-byte pair record by direct `(item, node)`
 //!   indexing — no nested-`Vec` pointer chasing and no table
-//!   indirection anywhere in the loop. The event payload itself is
-//!   packed to 24 bytes ([`EventKind`]), keeping a queue slot at 40
-//!   bytes. The session's drain loop additionally pops events in short
-//!   batches inside the `comp_delay + min link delay` safety window and
-//!   prefetches the per-event state, overlapping the cache misses a
-//!   strict pop-process chain would serialize; measured together at
-//!   paper scale (600 repos / 100 items / 10k ticks), the whole-run
-//!   rate went from ~6.7 to ~8.0–8.4 M events/s on a 1-core container,
-//!   with results bit-identical to this scalar-oracle loop (asserted in
-//!   the `engine_throughput` bench).
+//!   indirection anywhere in the loop.
+//! * Measured at 600 repositories / 100 items / 10k ticks (~13.65 M
+//!   events, 1-core container, `engine_throughput` bench): whole-run
+//!   ~8.8–9.2 M events/s on the calendar backend (PR 4: ~8.0–8.4 with
+//!   40-byte slots and a seeded queue; PR 3: 6.6), ~47.6 slot bytes
+//!   moved per event (PR 4: ~80), results bit-identical to this
+//!   scalar-oracle loop and across backends (asserted in the bench,
+//!   along with the ≥ 8.6 M events/s ROADMAP bar). With the seeded
+//!   backlog gone the *heap* backend is competitive at this scale too
+//!   (~9 M events/s — its pending set is now a few thousand arrivals,
+//!   so `log n` is short and cache-hot); the calendar stays a few
+//!   percent ahead here and keeps its structural lead when the pending
+//!   set is deep — congested configurations and the `event_queue` micro
+//!   bench — so it remains the default.
 //!
 //! Experiment setup cost lives in [`crate::prepared`], not here.
 
@@ -111,36 +123,71 @@ use crate::queue::{CalendarQueue, EventQueue};
 /// One source change: `(time_ms, item, value)`.
 pub type SourceChange = (u64, ItemId, f64);
 
-/// Payload of one scheduled event, packed to 24 bytes. The scheduling
-/// key `(at_us, seq)` lives in the event queue, not here.
+/// Payload of one scheduled event, packed to **16 bytes**. The
+/// scheduling key `(at_us, seq)` lives in the event queue, not here.
 ///
 /// The calendar queue is memory-traffic bound at paper scale (hundreds
-/// of thousands of pending events transiting buckets), so the payload is
-/// stored flat instead of as the natural enum: the centralized tag's
-/// `Option<Coherency>` (16 bytes) collapses into the tag's raw bit
-/// pattern with a NaN sentinel, and the source/arrival distinction into
-/// a node-index sentinel. That shrinks a queue slot from 56 to 40 bytes
-/// — a ~30% cut in the bytes every push/pop moves. Use
-/// [`EventKind::classify`] to get the ergonomic [`Event`] view back; it
-/// compiles to a couple of register tests.
+/// of thousands of pending events transiting buckets), so the payload
+/// carries exactly one word of float state: `bits` is the event's value
+/// for source changes and untagged arrivals, or — for centralized tagged
+/// arrivals — a **NaN-boxed [`TagTable`] index** resolving to the
+/// `(value, tag)` pair the update carries. A finite value can never
+/// collide with the box (its exponent bits are not all ones), and the
+/// engine rejects NaN source values at construction, so the two readings
+/// never overlap. The source/arrival distinction collapses into a
+/// node-index sentinel as before.
+///
+/// Combined with the seq-free calendar slots this packs a queue slot to
+/// 24 bytes, down from 40 — a 40% cut in the bytes every push/pop moves
+/// (`size_of` pinned by compile-time asserts below). Use
+/// [`EventKind::classify`] (or `Session::classify`) to get the ergonomic
+/// [`Event`] view back; for untagged events it compiles to a couple of
+/// register tests, and only centralized tagged arrivals read the side
+/// table.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EventKind {
-    /// The new value (source change) or the in-flight value (arrival).
-    value: f64,
-    /// Bit pattern of the centralized tag, or [`TAG_NONE`].
-    tag_bits: u64,
+    /// `f64` bits of the event's value, or a NaN-boxed [`TagTable`] id.
+    bits: u64,
     /// The item the event concerns.
     item: u32,
     /// Receiving node, or [`SOURCE_EVENT`] for a source change.
     node: u32,
 }
 
-/// `tag_bits` sentinel: no tag attached. An all-ones bit pattern is a
-/// NaN, which no finite [`Coherency`] can produce.
-const TAG_NONE: u64 = u64::MAX;
+/// High word of a NaN-boxed tag id: quiet-NaN exponent + mantissa MSB.
+/// No finite `f64` shares it, and the all-ones low word can't either, so
+/// any 32-bit id in the low word is unambiguous (given non-NaN values,
+/// which the engine asserts at the source).
+const TAG_BOX_HI: u64 = 0x7FF8_0000;
 /// `node` sentinel marking a source change ([`NodeIdx`] is dense, and
 /// `u32::MAX` overlay nodes are unrepresentable anyway).
 const SOURCE_EVENT: u32 = u32::MAX;
+
+/// Side table resolving the NaN-boxed ids of centralized tagged arrivals
+/// to the `(value, tag)` pair the update carries. Grows by one entry per
+/// *tagged source update* (relays reuse the incoming event's id, see
+/// [`EventKind::arrival_template`]); untagged protocols never touch it.
+#[derive(Debug, Clone, Default)]
+pub struct TagTable {
+    pairs: Vec<(f64, f64)>,
+}
+
+impl TagTable {
+    /// Appends a `(value, tag)` pair, returning its id.
+    #[inline]
+    fn intern(&mut self, value: f64, tag: f64) -> u32 {
+        let id = self.pairs.len();
+        assert!(id <= u32::MAX as usize, "tag table overflow: too many tagged source updates");
+        self.pairs.push((value, tag));
+        id as u32
+    }
+
+    /// The pair behind a previously interned id.
+    #[inline]
+    fn pair(&self, id: u32) -> (f64, f64) {
+        self.pairs[id as usize]
+    }
+}
 
 /// The unpacked view of an [`EventKind`] — what the run loops match on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,44 +209,111 @@ pub enum Event {
 }
 
 impl EventKind {
-    /// Packs a source change.
+    /// Packs a source change. Values must not be NaN (asserted at engine
+    /// construction and on injection) — a NaN bit pattern is reserved
+    /// for the tag box.
     #[inline]
     pub fn source_change(item: ItemId, value: f64) -> Self {
-        Self { value, tag_bits: TAG_NONE, item: item.0, node: SOURCE_EVENT }
+        debug_assert!(!value.is_nan(), "NaN source values cannot be scheduled");
+        Self { bits: value.to_bits(), item: item.0, node: SOURCE_EVENT }
     }
 
-    /// Packs an update arrival at `node`.
+    /// Whether `bits` holds a NaN-boxed tag id rather than raw value bits.
     #[inline]
-    pub fn arrival(node: NodeIdx, update: Update) -> Self {
-        Self {
-            value: update.value,
-            tag_bits: update.tag.map_or(TAG_NONE, |c| c.value().to_bits()),
-            item: update.item.0,
-            node: node.0,
-        }
+    fn is_boxed(bits: u64) -> bool {
+        (bits >> 32) == TAG_BOX_HI
     }
 
-    /// Unpacks into the ergonomic [`Event`] view.
+    /// Packs `update` into an arrival payload addressed to a placeholder
+    /// node — [`EventKind::at_node`] stamps the recipient per send. A
+    /// tagged update interns its `(value, tag)` pair **unless** `reuse`
+    /// (the event being relayed) already carries the identical pair, in
+    /// which case its id is forwarded — the steady state for centralized
+    /// relays, which keeps the table's growth at one entry per tagged
+    /// source update.
     #[inline]
-    pub fn classify(self) -> Event {
-        if self.node == SOURCE_EVENT {
-            Event::SourceChange { item: ItemId(self.item), value: self.value }
-        } else {
-            Event::Arrival {
-                node: NodeIdx(self.node),
-                update: Update {
-                    item: ItemId(self.item),
-                    value: self.value,
-                    tag: if self.tag_bits == TAG_NONE {
-                        None
-                    } else {
-                        Some(d3t_core::coherency::Coherency::new(f64::from_bits(self.tag_bits)))
-                    },
-                },
+    pub(crate) fn arrival_template(
+        update: Update,
+        reuse: Option<EventKind>,
+        tags: &mut TagTable,
+    ) -> Self {
+        let bits = match update.tag {
+            None => {
+                debug_assert!(!update.value.is_nan(), "NaN values cannot be scheduled");
+                update.value.to_bits()
             }
+            Some(tag) => match reuse {
+                Some(k) if k.reuses(&update, tags) => k.bits,
+                _ => (TAG_BOX_HI << 32) | u64::from(tags.intern(update.value, tag.value())),
+            },
+        };
+        Self { bits, item: update.item.0, node: SOURCE_EVENT }
+    }
+
+    /// Whether this event's payload bits already encode exactly `update`
+    /// (same value and tag, bit for bit), so a relay can forward them.
+    #[inline]
+    fn reuses(self, update: &Update, tags: &TagTable) -> bool {
+        if self.item != update.item.0 || !Self::is_boxed(self.bits) {
+            return false;
+        }
+        let (value, tag) = tags.pair(self.bits as u32);
+        value.to_bits() == update.value.to_bits()
+            && update.tag.is_some_and(|c| c.value().to_bits() == tag.to_bits())
+    }
+
+    /// The template re-addressed to `node`.
+    #[inline]
+    pub(crate) fn at_node(self, node: NodeIdx) -> Self {
+        Self { node: node.0, ..self }
+    }
+
+    /// Packs an update arrival at `node` (scalar construction; hot loops
+    /// build one [`EventKind::arrival_template`] per send group instead).
+    #[inline]
+    pub fn arrival(node: NodeIdx, update: Update, tags: &mut TagTable) -> Self {
+        Self::arrival_template(update, None, tags).at_node(node)
+    }
+
+    /// `(node, item)` of an arrival, or `None` for a source change —
+    /// the table-free view prefetchers use.
+    #[inline]
+    pub(crate) fn arrival_target(self) -> Option<(NodeIdx, ItemId)> {
+        (self.node != SOURCE_EVENT).then_some((NodeIdx(self.node), ItemId(self.item)))
+    }
+
+    /// Unpacks into the ergonomic [`Event`] view. `tags` must be the
+    /// table of the engine/session that scheduled the event (the
+    /// `Session::classify` helper passes it for you).
+    #[inline]
+    pub fn classify(self, tags: &TagTable) -> Event {
+        if self.node == SOURCE_EVENT {
+            return Event::SourceChange {
+                item: ItemId(self.item),
+                value: f64::from_bits(self.bits),
+            };
+        }
+        let (value, tag) = if Self::is_boxed(self.bits) {
+            let (value, tag) = tags.pair(self.bits as u32);
+            (value, Some(d3t_core::coherency::Coherency::new(tag)))
+        } else {
+            (f64::from_bits(self.bits), None)
+        };
+        Event::Arrival {
+            node: NodeIdx(self.node),
+            update: Update { item: ItemId(self.item), value, tag },
         }
     }
 }
+
+// The whole point of the packing: a 16-byte payload inside a ≤ 24-byte
+// calendar slot (down from 24 in 40). Checked at compile time so a
+// future field can't silently regrow the hot path's memory traffic.
+const _: () = assert!(std::mem::size_of::<EventKind>() == 16);
+const _: () = assert!(
+    <CalendarQueue<EventKind> as EventQueue<EventKind>>::SLOT_BYTES <= 24,
+    "calendar slots must stay within 24 bytes"
+);
 
 /// Rounds a millisecond duration to integer microseconds (used only at
 /// construction time; the event loop never converts).
@@ -234,6 +348,17 @@ pub struct Engine<Q: EventQueue<EventKind> = CalendarQueue<EventKind>> {
     pub(crate) next_seq: u64,
     /// Observation horizon, µs.
     pub(crate) end_us: u64,
+    /// Decodes the NaN-boxed tag ids of centralized arrivals.
+    pub(crate) tags: TagTable,
+    /// The pre-seeded source changes, already `(at_us, payload)` packed
+    /// and time-sorted. They are **streamed**, not enqueued: the run
+    /// loops merge this cursor with the queue (stream wins time ties —
+    /// every change carries a smaller creation stamp than any arrival),
+    /// so a million pre-seeded changes never transit the overflow heap
+    /// at all. The queue holds in-flight arrivals only.
+    pub(crate) source_stream: Vec<(u64, EventKind)>,
+    /// Next unprocessed `source_stream` entry.
+    pub(crate) stream_cursor: usize,
 }
 
 impl Engine {
@@ -288,14 +413,23 @@ impl<Q: EventQueue<EventKind>> Engine<Q> {
         end_us: u64,
     ) -> Self {
         assert!(comp_delay_ms >= 0.0, "computational delay must be >= 0");
-        let mut queue = Q::with_capacity(changes.len() * 2);
-        let mut next_seq = 0u64;
-        for &(at_ms, item, value) in changes {
-            let at_us = change_at_us(at_ms);
-            debug_assert!(at_us <= end_us, "change beyond horizon");
-            queue.push(at_us, next_seq, EventKind::source_change(item, value));
-            next_seq += 1;
-        }
+        let source_stream: Vec<(u64, EventKind)> = changes
+            .iter()
+            .map(|&(at_ms, item, value)| {
+                let at_us = change_at_us(at_ms);
+                debug_assert!(at_us <= end_us, "change beyond horizon");
+                // NaN bit patterns are reserved for the payload's tag box.
+                assert!(!value.is_nan(), "source change values must not be NaN");
+                (at_us, EventKind::source_change(item, value))
+            })
+            .collect();
+        // Hard assert: the stream-merge run loops rely on this order for
+        // correctness (an unsorted stream would silently reorder events
+        // in release builds), and the check is O(n) once per run.
+        assert!(
+            source_stream.windows(2).all(|w| w[0].0 <= w[1].0),
+            "source changes must arrive time-sorted"
+        );
         Self {
             delays_us: DelayMicros::from_delays(delays, d3g.n_nodes()),
             comp_delay_us: ms_to_us(comp_delay_ms),
@@ -303,30 +437,56 @@ impl<Q: EventQueue<EventKind>> Engine<Q> {
             fidelity: FidelityTracker::new(workload, initial_values, 0),
             metrics: Metrics::default(),
             busy_until_us: vec![0u64; d3g.n_nodes()],
-            queue,
-            next_seq,
+            // The queue holds in-flight arrivals only (the source stream
+            // is merged at pop time), so size it for churn, not for the
+            // whole horizon's worth of pre-seeded changes.
+            queue: Q::with_capacity(changes.len().min(1 << 15)),
+            next_seq: 0,
             end_us,
+            tags: TagTable::default(),
+            source_stream,
+            stream_cursor: 0,
         }
     }
 
     /// Runs to completion and returns the fidelity report plus overhead
     /// counters.
     pub fn run(mut self) -> (FidelityReport, Metrics) {
-        while let Some((at_us, _seq, kind)) = self.queue.pop() {
+        loop {
+            // Two-way merge: the queue may only deliver strictly below
+            // the stream head (equal-time stream events were created
+            // first), otherwise the head itself is due. Once the stream
+            // is spent, the plain pop also reaches arrivals sitting at
+            // exactly `u64::MAX` (saturated timestamps).
+            let head = self.source_stream.get(self.stream_cursor).copied();
+            let cap_us = head.map_or(u64::MAX, |(at_us, _)| at_us);
+            let (at_us, kind) = match self.queue.pop_lt(cap_us) {
+                Some(ev) => ev,
+                None => match head {
+                    Some(ev) => {
+                        self.stream_cursor += 1;
+                        ev
+                    }
+                    None => match self.queue.pop() {
+                        Some(ev) => ev,
+                        None => break,
+                    },
+                },
+            };
             self.metrics.events += 1;
-            match kind.classify() {
+            match kind.classify(&self.tags) {
                 Event::SourceChange { item, value } => {
                     self.metrics.source_updates += 1;
                     self.fidelity.source_update(at_us, item, value);
                     let fwd = self.disseminator.on_source_update(item, value);
                     self.metrics.source_checks += fwd.checks;
-                    self.transmit(d3t_core::overlay::SOURCE, at_us, fwd.update, &fwd.to);
+                    self.transmit(d3t_core::overlay::SOURCE, at_us, fwd.update, &fwd.to, None);
                 }
                 Event::Arrival { node, update } => {
                     self.fidelity.repo_update(at_us, node, update.item, update.value);
                     let fwd = self.disseminator.on_repo_update(node, update);
                     self.metrics.repo_checks += fwd.checks;
-                    self.transmit(node, at_us, fwd.update, &fwd.to);
+                    self.transmit(node, at_us, fwd.update, &fwd.to, Some(kind));
                 }
             }
         }
@@ -335,21 +495,31 @@ impl<Q: EventQueue<EventKind>> Engine<Q> {
 
     /// Serially prepares and sends `update` from `node` to each recipient.
     /// Pure integer arithmetic: CPU queueing, link delay, horizon check.
-    fn transmit(&mut self, node: NodeIdx, now_us: u64, update: Update, to: &[NodeIdx]) {
+    /// `relayed` is the event being forwarded, when there is one — its
+    /// interned tag pair is reused instead of re-interned.
+    fn transmit(
+        &mut self,
+        node: NodeIdx,
+        now_us: u64,
+        update: Update,
+        to: &[NodeIdx],
+        relayed: Option<EventKind>,
+    ) {
         if to.is_empty() {
             return;
         }
+        let template = EventKind::arrival_template(update, relayed, &mut self.tags);
         let delay_row = self.delays_us.row(node);
         let mut cpu = self.busy_until_us[node.index()].max(now_us);
         for &child in to {
             cpu += self.comp_delay_us;
             self.metrics.messages += 1;
-            let arrival_us = cpu + delay_row[child.index()];
+            let arrival_us = cpu + u64::from(delay_row[child.index()]);
             if arrival_us > self.end_us {
                 self.metrics.undelivered += 1;
                 continue;
             }
-            self.queue.push(arrival_us, self.next_seq, EventKind::arrival(child, update));
+            self.queue.push(arrival_us, self.next_seq, template.at_node(child));
             self.next_seq += 1;
         }
         self.busy_until_us[node.index()] = cpu;

@@ -98,7 +98,7 @@ pub mod session;
 
 pub use config::{SimConfig, TreeStrategy};
 pub use dynamics::{Dynamic, DynamicError};
-pub use engine::{Engine, Event, EventKind};
+pub use engine::{Engine, Event, EventKind, TagTable};
 pub use metrics::Metrics;
 pub use observer::{EventTrace, NoopObserver, Observer, TraceEvent, WindowPoint, WindowedFidelity};
 pub use prepared::Prepared;

@@ -1,9 +1,9 @@
 //! Event priority queues for the discrete-event engine.
 //!
 //! The engine schedules events keyed by `(at_us, seq)` — integer
-//! microseconds plus a creation-order tie-breaker — and only ever needs
-//! two operations: *push* and *pop-minimum*. Two interchangeable backends
-//! implement that contract behind the [`EventQueue`] trait:
+//! microseconds plus a creation-order tie-breaker — and pops them in
+//! exactly ascending key order. Two interchangeable backends implement
+//! that contract behind the [`EventQueue`] trait:
 //!
 //! * [`HeapQueue`] — the classic `BinaryHeap<Reverse<_>>`. `O(log n)` per
 //!   operation with branchy `u64` comparisons that walk `log n` cache
@@ -14,6 +14,57 @@
 //!   ladder-style twist, specialised to the engine's exact integer-µs
 //!   keys: amortized `O(1)` push and pop for the event-time mix a
 //!   trace-driven simulation actually produces. Default backend.
+//!
+//! # Performance model: slim slots and bulk operations
+//!
+//! At paper scale the queue is **memory-traffic bound**: ~27 M push/pop
+//! operations per run, each physically moving one slot across a bucket.
+//! The layout and the API are both shaped by that:
+//!
+//! * **Calendar slots carry no `seq`** ([`EventQueue::SLOT_BYTES`] pins
+//!   the size; 24 bytes for the engine's 16-byte payload, down from 40
+//!   when slots carried `seq` and the payload was 24 bytes — a 40% cut
+//!   in bytes moved per operation). The tie-breaker is *implicit*: the
+//!   push contract requires `seq` to be strictly increasing across
+//!   pushes (the engine's creation counter is), so FIFO insertion among
+//!   equal `at_us` keys inside a bucket reproduces `(at_us, seq)` order
+//!   exactly — see the stability argument below. The overflow tier and
+//!   the heap backend still store `seq` in their own slot types; they
+//!   are off the hot path.
+//! * **[`EventQueue::push_batch`]** fans a whole send group into buckets
+//!   with one bucket locate per monotone same-day run, instead of one
+//!   full locate-and-check per event. The engine's transmit loop emits
+//!   exactly such groups (arrival times of one CPU's serial sends).
+//! * **[`EventQueue::pop_run`]** hands the caller a contiguous run of
+//!   events from the front of the cursor-day bucket, bounded by a
+//!   caller-provided reorder-free window — one cursor locate and one
+//!   deque sweep per run instead of a full pop per event. The session's
+//!   drain loop uses it with the provable `comp_delay + min link delay`
+//!   window (nothing processing a popped run can schedule may land
+//!   inside the run).
+//!
+//! # The stability argument (why slots need no `seq`)
+//!
+//! Every path an event can take preserves creation order among equal
+//! `at_us` keys:
+//!
+//! * equal keys land in the same day, hence the same bucket, and both
+//!   the append fast path and the binary insert place a new event
+//!   **after** every equal key already present — bucket order among ties
+//!   is push order;
+//! * the overflow tier orders by explicit `(at_us, seq)`, and a year
+//!   advance migrates events in exactly that order into empty-or-FIFO
+//!   bucket positions;
+//! * a rebuild that demotes calendar events back to the overflow tier
+//!   assigns them synthesized tie-breakers from a strictly decreasing
+//!   floor (`demote_floor`), which keeps every demoted batch ahead of
+//!   all equal-key events still in the overflow tier (they were admitted
+//!   to the calendar earlier, so their creation keys are smaller) while
+//!   preserving FIFO order inside the batch.
+//!
+//! Pop order is therefore **exactly** `(at_us, seq)` — bit-identical to
+//! the heap on any input — which the property tests at the workspace
+//! root (`tests/queue_properties.rs`) pin down on adversarial streams.
 //!
 //! # Why two tiers
 //!
@@ -45,17 +96,17 @@
 //! * an event at `t` µs belongs to **day** `t >> width_log2`;
 //! * days map onto `nb = 1 << nb_log2` buckets cyclically:
 //!   `bucket = day & (nb - 1)`; `nb` consecutive days are one **year**;
-//! * each bucket is a deque sorted ascending by `(at_us, seq)`: the
-//!   bucket minimum is `front()`, removal is an `O(1)` `pop_front()`, and
-//!   the dominant monotone-in-time insert is an `O(1)` `push_back()`.
+//! * each bucket is a cursor-fronted `Vec` sorted ascending by `at_us`
+//!   with FIFO ties: the bucket minimum is `front()`, removal is a
+//!   cursor bump, the dominant monotone-in-time insert is an `O(1)`
+//!   `push_back()`, and the pending events are always one contiguous
+//!   slice (what makes `pop_run`'s bulk sweep a straight-line scan).
 //!
 //! Pop walks days forward from a cursor: a bucket's minimum is dequeued
 //! iff it belongs to the cursor day, otherwise the cursor advances.
 //! Earlier days are exhausted and same-day events are confined to one
 //! bucket, so the dequeued event is globally minimal within the calendar;
-//! the year boundary makes it globally minimal outright. Ordering is
-//! therefore **exactly** `(at_us, seq)` — bit-identical to the heap on
-//! any input, which the property tests pin down.
+//! the year boundary makes it globally minimal outright.
 //!
 //! # Adaptation policy
 //!
@@ -83,16 +134,40 @@
 //! (only an advance, which migrates immediately, may raise the boundary),
 //! which is what keeps the cross-tier ordering invariant airtight.
 //!
-//! The heap fallback wins in two niches: backlogs sitting at a handful of
-//! *identical* timestamps (no width separates ties), and pure bulk
-//! seed-then-drain with no interleaved churn (every event then transits
-//! both tiers, which is strictly more work than one heap). A trace-driven
-//! simulation run is seed *plus* churn and lives squarely in the
-//! calendar's fast path — see the `event_queue` and `engine_throughput`
-//! benches for the measured curves.
+//! # Measured numbers and the backend crossover
+//!
+//! At the paper-scale whole run (600 repos / 100 items / 10k ticks,
+//! 1-core container, `engine_throughput` bench) the slim-slot calendar
+//! sustains ~8.8–9.2 M events/s moving ~47.6 slot bytes per event
+//! (PR 4's seq-carrying 40-byte slots: ~8.0–8.4 M events/s at ~80
+//! bytes), and replays the recorded arrival trace at ~56 M queue ops/s
+//! vs the heap's ~45 M. Because the engine now *streams* its pre-seeded
+//! source changes instead of enqueueing them (see `d3t_sim::engine`),
+//! the pending set is only the in-flight arrivals — shallow enough that
+//! the heap fallback is competitive on the whole run (~9 M events/s:
+//! its `log n` is short and its array cache-resident), with the
+//! calendar a few percent ahead. The calendar's structural lead is in
+//! deep backlogs — the `event_queue` steady-state micro bench at
+//! 32 Ki–256 Ki pending (~2× and growing with depth), and congested
+//! simulation configurations whose CPU queues stack arrivals — and it
+//! stays the default.
+//!
+//! The heap also wins two structural niches: backlogs sitting at a
+//! handful of *identical* timestamps (no width separates ties), and pure
+//! bulk seed-then-drain with no interleaved churn (every event then
+//! transits both tiers, which is strictly more work than one heap).
+//!
+//! A **lazy-sorted bucket** variant (append always, stable-sort a bucket
+//! on first cursor contact) was measured against this eager-insert
+//! design and retired: on `event_queue/seed_drain` it was neutral within
+//! noise on every distribution, including the bursty one it was meant to
+//! win (lazy vs eager, min-of-10: 73.3 vs 74.0 µs at 1 Ki, 5.55 vs
+//! 5.54 ms at 32 Ki, 58.5 vs 57.9 ms at 256 Ki). Buckets average a
+//! handful of events and 58% of inserts already take the append fast
+//! path, so there is nothing for laziness to save.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
@@ -112,7 +187,7 @@ pub enum QueueBackend {
 /// [`QueueBackend`] value is turned into a concrete type: every runtime
 /// backend selection (one-shot runs, session construction, …) goes
 /// through it, so adding a backend is one new `dispatch` arm.
-pub trait QueueVisitor<T> {
+pub trait QueueVisitor<T: Copy> {
     /// What the computation produces.
     type Out;
     /// Runs the computation with the chosen queue type.
@@ -121,7 +196,7 @@ pub trait QueueVisitor<T> {
 
 impl QueueBackend {
     /// Monomorphizes `visitor` with the queue type this backend names.
-    pub fn dispatch<T, V: QueueVisitor<T>>(self, visitor: V) -> V::Out {
+    pub fn dispatch<T: Copy, V: QueueVisitor<T>>(self, visitor: V) -> V::Out {
         match self {
             QueueBackend::Calendar => visitor.visit::<CalendarQueue<T>>(),
             QueueBackend::Heap => visitor.visit::<HeapQueue<T>>(),
@@ -130,75 +205,183 @@ impl QueueBackend {
 }
 
 /// A priority queue of `(at_us, seq)`-keyed events, popped in exactly
-/// ascending key order. `seq` must be unique per queue, which makes the
-/// order total — every implementation is observationally identical.
-pub trait EventQueue<T> {
+/// ascending key order.
+///
+/// # The push contract
+///
+/// `seq` must be **strictly increasing across pushes** over the queue's
+/// lifetime (the engine's creation counter is exactly that). That is
+/// stronger than the old mere-uniqueness contract, and it is what lets a
+/// backend drop `seq` from its hot slots entirely: insertion order among
+/// equal `at_us` keys *is* `seq` order, so FIFO placement reproduces the
+/// total `(at_us, seq)` order without storing the tie-breaker. `pop`
+/// therefore returns only `(at_us, item)`; every implementation is
+/// observationally identical on any compliant push sequence.
+pub trait EventQueue<T: Copy> {
+    /// Bytes one pending event occupies in the backend's primary (hot)
+    /// tier — what a push or pop physically moves.
+    const SLOT_BYTES: usize;
+
     /// An empty queue sized for roughly `capacity` pending events.
     fn with_capacity(capacity: usize) -> Self;
-    /// Enqueues `item` at `at_us` µs with tie-breaker `seq`.
+
+    /// Enqueues `item` at `at_us` µs with creation stamp `seq` (strictly
+    /// increasing across pushes, see the trait docs).
     fn push(&mut self, at_us: u64, seq: u64, item: T);
+
+    /// Enqueues a whole send group: `events[k]` is pushed at creation
+    /// stamp `seq0 + k`. Equivalent to the scalar loop; backends may
+    /// amortize bucket location over runs of nearby timestamps.
+    fn push_batch(&mut self, seq0: u64, events: &[(u64, T)]) {
+        for (k, &(at_us, item)) in events.iter().enumerate() {
+            self.push(at_us, seq0 + k as u64, item);
+        }
+    }
+
     /// Removes and returns the minimal `(at_us, seq)` event, if any.
-    fn pop(&mut self) -> Option<(u64, u64, T)>;
+    fn pop(&mut self) -> Option<(u64, T)>;
+
+    /// Removes and returns the minimal `(at_us, seq)` event **iff** its
+    /// time is strictly below `cap_us`; otherwise leaves the queue's
+    /// contents untouched and returns `None`. The strict bound is the
+    /// merge primitive for callers interleaving the queue with an
+    /// external sorted stream whose events outrank equal-time queue
+    /// entries (the engine's pre-seeded source changes all carry smaller
+    /// creation stamps than any in-flight arrival). Events at exactly
+    /// `u64::MAX` are only reachable through [`EventQueue::pop`].
+    fn pop_lt(&mut self, cap_us: u64) -> Option<(u64, T)>;
+
+    /// Pops up to `max` consecutive events whose times all fall strictly
+    /// inside `window_us` of the *first* popped event **and** strictly
+    /// below `cap_us`, appending them to `out` in exactly the order
+    /// `pop` would have produced. Returns the number of events appended
+    /// (0 iff nothing is pending below `cap_us` or `max` is 0).
+    ///
+    /// This is the batched drain primitive: a caller that knows nothing
+    /// it does with a popped event can schedule anything closer than
+    /// `window_us` ahead (the engine's `comp_delay + min link delay`
+    /// bound) may take the whole run before processing any of it,
+    /// capping the run at the next event of a merged external stream.
+    fn pop_run(
+        &mut self,
+        window_us: u64,
+        cap_us: u64,
+        max: usize,
+        out: &mut Vec<(u64, T)>,
+    ) -> usize;
+
     /// Number of pending events.
     fn len(&self) -> usize;
+
     /// True when nothing is pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
 
-/// One pending event; ordering lives in the queue, not the payload.
+/// One pending event in a tier that stores the explicit tie-breaker
+/// (the heap backend, and the calendar's overflow tier). `seq` is signed:
+/// real creation stamps are non-negative, and rebuild demotions stamp
+/// synthesized negative keys (see `CalendarQueue::demote_floor`).
 #[derive(Debug, Clone, Copy)]
-struct Slot<T> {
+struct KeyedSlot<T> {
     at_us: u64,
-    seq: u64,
+    seq: i64,
     item: T,
 }
 
-impl<T> Slot<T> {
+impl<T> KeyedSlot<T> {
     #[inline]
-    fn key(&self) -> (u64, u64) {
+    fn key(&self) -> (u64, i64) {
         (self.at_us, self.seq)
     }
 }
 
-impl<T> PartialEq for Slot<T> {
+impl<T> PartialEq for KeyedSlot<T> {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
     }
 }
-impl<T> Eq for Slot<T> {}
-impl<T> Ord for Slot<T> {
+impl<T> Eq for KeyedSlot<T> {}
+impl<T> Ord for KeyedSlot<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key().cmp(&other.key())
     }
 }
-impl<T> PartialOrd for Slot<T> {
+impl<T> PartialOrd for KeyedSlot<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Converts a caller creation stamp into the signed internal form.
+/// Stamps are event counters (the engine's fits comfortably); the top
+/// bit is reclaimed for the demotion floor.
+#[inline]
+fn signed_seq(seq: u64) -> i64 {
+    debug_assert!(seq <= i64::MAX as u64, "creation stamp overflows the signed tie-breaker");
+    seq as i64
 }
 
 /// The `BinaryHeap` backend — `O(log n)` per operation, distribution
 /// independent. The reference implementation the calendar queue is
 /// property-tested against.
 pub struct HeapQueue<T> {
-    heap: BinaryHeap<Reverse<Slot<T>>>,
+    heap: BinaryHeap<Reverse<KeyedSlot<T>>>,
 }
 
-impl<T> EventQueue<T> for HeapQueue<T> {
+impl<T: Copy> EventQueue<T> for HeapQueue<T> {
+    const SLOT_BYTES: usize = std::mem::size_of::<Reverse<KeyedSlot<T>>>();
+
     fn with_capacity(capacity: usize) -> Self {
         Self { heap: BinaryHeap::with_capacity(capacity) }
     }
 
     #[inline]
     fn push(&mut self, at_us: u64, seq: u64, item: T) {
-        self.heap.push(Reverse(Slot { at_us, seq, item }));
+        self.heap.push(Reverse(KeyedSlot { at_us, seq: signed_seq(seq), item }));
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(u64, u64, T)> {
-        self.heap.pop().map(|Reverse(s)| (s.at_us, s.seq, s.item))
+    fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(s)| (s.at_us, s.item))
+    }
+
+    #[inline]
+    fn pop_lt(&mut self, cap_us: u64) -> Option<(u64, T)> {
+        match self.heap.peek() {
+            Some(Reverse(s)) if s.at_us < cap_us => {
+                self.heap.pop().map(|Reverse(s)| (s.at_us, s.item))
+            }
+            _ => None,
+        }
+    }
+
+    fn pop_run(
+        &mut self,
+        window_us: u64,
+        cap_us: u64,
+        max: usize,
+        out: &mut Vec<(u64, T)>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let Some(first) = self.pop_lt(cap_us) else { return 0 };
+        let limit = first.0.saturating_add(window_us).min(cap_us);
+        out.push(first);
+        let mut n = 1;
+        while n < max {
+            match self.heap.peek() {
+                Some(Reverse(s)) if s.at_us < limit => {
+                    let Reverse(s) = self.heap.pop().expect("peeked heap entry");
+                    out.push((s.at_us, s.item));
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        n
     }
 
     fn len(&self) -> usize {
@@ -219,14 +402,107 @@ const MAX_WIDTH_LOG2: u32 = 62;
 /// deemed too coarse for the local density and shrunk 4×.
 const OVERLOAD: usize = 64;
 
+/// One calendar-tier event: the 8-byte key plus the payload and **no
+/// tie-breaker** — among equal keys, bucket FIFO order *is* creation
+/// order (see the module-level stability argument). For the engine's
+/// 16-byte payload this is a 24-byte slot, down from the 40 bytes the
+/// seq-carrying slot around the old 24-byte payload cost.
+#[derive(Debug, Clone, Copy)]
+struct CalSlot<T> {
+    at_us: u64,
+    item: T,
+}
+
+/// One calendar day's events: a plain `Vec` behind a consumed-front
+/// cursor. Cheaper than a `VecDeque` on every hot operation — pops are a
+/// cursor bump, the pending events are always one contiguous slice (no
+/// ring arithmetic, no two-slice seams for scans and bulk drains), and
+/// `Vec::insert` moves only the short tail that follows a late event.
+/// The backing storage is reclaimed (cursor reset, capacity kept) each
+/// time the day drains, which every day does once per year cycle.
+#[derive(Debug)]
+struct Bucket<T> {
+    /// Index of the first pending slot; everything before it is popped.
+    head: usize,
+    slots: Vec<CalSlot<T>>,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Self { head: 0, slots: Vec::new() }
+    }
+}
+
+impl<T: Copy> Bucket<T> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.slots.len() - self.head
+    }
+
+    /// The pending events, ascending by `at_us` with FIFO ties.
+    #[inline]
+    fn pending(&self) -> &[CalSlot<T>] {
+        &self.slots[self.head..]
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&CalSlot<T>> {
+        self.slots.get(self.head)
+    }
+
+    #[inline]
+    fn back(&self) -> Option<&CalSlot<T>> {
+        self.slots.last()
+    }
+
+    #[inline]
+    fn push_back(&mut self, slot: CalSlot<T>) {
+        self.slots.push(slot);
+    }
+
+    /// Binary-inserts after every equal-or-smaller key (FIFO ties).
+    fn insert_sorted(&mut self, slot: CalSlot<T>) {
+        let pos = self.head + self.pending().partition_point(|e| e.at_us <= slot.at_us);
+        self.slots.insert(pos, slot);
+    }
+
+    /// Pops the front pending event. Caller guarantees non-empty.
+    #[inline]
+    fn pop_front(&mut self) -> CalSlot<T> {
+        let slot = self.slots[self.head];
+        self.consume(1);
+        slot
+    }
+
+    /// Marks the first `k` pending events popped, reclaiming the storage
+    /// when the day drains.
+    #[inline]
+    fn consume(&mut self, k: usize) {
+        self.head += k;
+        debug_assert!(self.head <= self.slots.len());
+        if self.head == self.slots.len() {
+            self.slots.clear();
+            self.head = 0;
+        }
+    }
+
+    /// Removes and returns every pending event, discarding the consumed
+    /// prefix (storage kept).
+    fn take_all(&mut self) -> impl Iterator<Item = CalSlot<T>> + '_ {
+        let head = std::mem::take(&mut self.head);
+        self.slots.drain(..).skip(head)
+    }
+}
+
 /// The calendar-queue backend: a one-year calendar tier around the
 /// cursor, backed by a min-heap overflow tier for everything beyond the
 /// year boundary. See the module docs for the bucket math and policies.
 pub struct CalendarQueue<T> {
-    /// Each bucket is sorted ascending by `(at_us, seq)`: min at `front()`.
-    /// A deque makes the two dominant operations O(1): monotone-in-time
-    /// pushes append at the back, pops take the front.
-    buckets: Vec<VecDeque<Slot<T>>>,
+    /// Each bucket is sorted ascending by `at_us` with FIFO ties: min at
+    /// `front()` (see [`Bucket`] for the cursor-fronted layout that makes
+    /// the dominant monotone push and the pop both O(1) on one
+    /// contiguous slice).
+    buckets: Vec<Bucket<T>>,
     /// Events currently in the calendar tier (not counting `overflow`).
     cal_len: usize,
     /// Bucket width is `1 << width_log2` µs.
@@ -238,8 +514,16 @@ pub struct CalendarQueue<T> {
     /// Exclusive µs limit of the calendar year. `u64::MAX` means the
     /// calendar accepts everything (the boundary computation saturated).
     boundary_us: u64,
-    /// Far-future events, strictly at or beyond `boundary_us`.
-    overflow: BinaryHeap<Reverse<Slot<T>>>,
+    /// Far-future events, strictly at or beyond `boundary_us` (up to
+    /// boundary-snap ties admitted before a migration cap hit — those
+    /// calendar twins always carry smaller creation keys).
+    overflow: BinaryHeap<Reverse<KeyedSlot<T>>>,
+    /// Synthesized tie-breaker floor for rebuild demotions: decremented
+    /// by each demoted batch so the batch sorts after nothing it should
+    /// precede — demoted events were in the calendar, so every equal-key
+    /// event still in overflow was created later (or demoted earlier,
+    /// i.e. above the new floor).
+    demote_floor: i64,
     /// Calendar pops since the last year advance — the feedback signal
     /// that detects a year too short for the backlog density.
     pops_since_advance: u64,
@@ -264,7 +548,7 @@ fn year_end(anchor_us: u64, width_log2: u32, nb_log2: u32) -> u64 {
     }
 }
 
-impl<T> CalendarQueue<T> {
+impl<T: Copy> CalendarQueue<T> {
     #[inline]
     fn nb(&self) -> u64 {
         1u64 << self.nb_log2
@@ -278,7 +562,7 @@ impl<T> CalendarQueue<T> {
 
     /// Inserts into the calendar tier without any resize checks.
     #[inline]
-    fn insert_plain(&mut self, slot: Slot<T>) -> usize {
+    fn insert_plain(&mut self, slot: CalSlot<T>) -> usize {
         let day = slot.at_us >> self.width_log2;
         if self.cal_len == 0 || day < self.current_day {
             self.current_day = day;
@@ -286,13 +570,11 @@ impl<T> CalendarQueue<T> {
         let b = (day & (self.nb() - 1)) as usize;
         let bucket = &mut self.buckets[b];
         // Fast path: simulation pushes are monotone-in-time, so the new
-        // event usually belongs at the back. Otherwise binary-insert to
-        // keep the bucket ascending.
+        // event usually belongs at the back — and equal keys *must* go to
+        // the back (FIFO ties are creation order). Otherwise binary-insert
+        // after every equal-or-smaller key to keep ties stable.
         match bucket.back() {
-            Some(last) if last.key() > slot.key() => {
-                let pos = bucket.partition_point(|e| e.key() < slot.key());
-                bucket.insert(pos, slot);
-            }
+            Some(last) if last.at_us > slot.at_us => bucket.insert_sorted(slot),
             _ => bucket.push_back(slot),
         }
         self.cal_len += 1;
@@ -300,8 +582,14 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Calendar-tier insert plus the overload check.
-    fn insert_cal(&mut self, slot: Slot<T>) {
+    fn insert_cal(&mut self, slot: CalSlot<T>) {
         let b = self.insert_plain(slot);
+        self.check_overload(b);
+    }
+
+    /// Shrinks the day width 4× when bucket `b` has collected [`OVERLOAD`]
+    /// events spanning more than one timestamp.
+    fn check_overload(&mut self, b: usize) {
         let bucket = &self.buckets[b];
         if bucket.len() >= OVERLOAD
             && self.width_log2 > 0
@@ -318,9 +606,9 @@ impl<T> CalendarQueue<T> {
     /// re-anchoring the year at the earliest calendar event and demoting
     /// anything past the new boundary to the overflow tier.
     fn rebuild(&mut self, new_nb_log2: u32, width_override: Option<u32>) {
-        let mut all: Vec<Slot<T>> = Vec::with_capacity(self.cal_len);
+        let mut all: Vec<CalSlot<T>> = Vec::with_capacity(self.cal_len);
         for b in &mut self.buckets {
-            all.extend(b.drain(..));
+            all.extend(b.take_all());
         }
         match width_override {
             Some(w) => self.width_log2 = w,
@@ -340,7 +628,7 @@ impl<T> CalendarQueue<T> {
         self.nb_log2 = new_nb_log2;
         let nb = 1usize << new_nb_log2;
         if self.buckets.len() != nb {
-            self.buckets.resize_with(nb, VecDeque::new);
+            self.buckets.resize_with(nb, Bucket::default);
         }
         self.cal_len = 0;
         // A rebuild may shorten the year but never extend it: overflow
@@ -355,11 +643,29 @@ impl<T> CalendarQueue<T> {
             None => 0,
         }
         .min(self.boundary_us);
+        // Slots carry no tie-breaker, so demotions synthesize one: a
+        // fresh strictly-below-everything floor per batch, ascending
+        // within the batch in `(at_us, bucket-FIFO)` order. That keeps
+        // each demoted batch ahead of every equal-key event still in the
+        // overflow tier (all created or demoted later) and preserves the
+        // batch's own creation order — see the module docs.
+        let mut demoted: Vec<CalSlot<T>> = Vec::new();
         for slot in all {
             if self.accepts(slot.at_us) {
                 self.insert_plain(slot);
             } else {
-                self.overflow.push(Reverse(slot));
+                demoted.push(slot);
+            }
+        }
+        if !demoted.is_empty() {
+            // Per-bucket drains preserve FIFO order and equal keys share
+            // a bucket, so a stable sort by time restores the exact
+            // global `(at_us, creation)` order.
+            demoted.sort_by_key(|s| s.at_us);
+            self.demote_floor -= demoted.len() as i64;
+            for (i, s) in demoted.into_iter().enumerate() {
+                let seq = self.demote_floor + i as i64;
+                self.overflow.push(Reverse(KeyedSlot { at_us: s.at_us, seq, item: s.item }));
             }
         }
     }
@@ -423,7 +729,8 @@ impl<T> CalendarQueue<T> {
         // Bound what one advance admits, so a mis-sampled width cannot
         // flood the calendar tier. When the cap cuts the year short, the
         // boundary snaps to the next overflow key, which keeps the tier
-        // invariant exact.
+        // invariant exact (heap pops deliver `(at_us, seq)` order, so any
+        // boundary-key twins left behind carry larger creation keys).
         let cap = self.cal_len + 4 * self.nb() as usize;
         self.boundary_us = nominal_end;
         while let Some(Reverse(t)) = self.overflow.peek() {
@@ -435,13 +742,15 @@ impl<T> CalendarQueue<T> {
                 break;
             }
             let Reverse(slot) = self.overflow.pop().expect("peeked overflow entry");
-            self.insert_cal(slot);
+            self.insert_cal(CalSlot { at_us: slot.at_us, item: slot.item });
         }
         true
     }
 
-    /// Pops the calendar-tier minimum. Caller guarantees `cal_len > 0`.
-    fn pop_cal(&mut self) -> Slot<T> {
+    /// Advances the cursor to the calendar minimum's day and returns its
+    /// bucket index (the minimum is that bucket's `front()`). Caller
+    /// guarantees `cal_len > 0`.
+    fn locate_min(&mut self) -> usize {
         let nb = self.nb();
         let mask = nb - 1;
         let mut day = self.current_day;
@@ -450,8 +759,7 @@ impl<T> CalendarQueue<T> {
             if let Some(s) = self.buckets[b].front() {
                 if s.at_us >> self.width_log2 == day {
                     self.current_day = day;
-                    self.cal_len -= 1;
-                    return self.buckets[b].pop_front().expect("bucket minimum vanished");
+                    return b;
                 }
             }
             // Wrapping: `day` can legitimately sit at the top of the u64
@@ -461,23 +769,25 @@ impl<T> CalendarQueue<T> {
         }
         // Residue outside the cursor's year (possible right after a
         // rebuild moved the grid): one `O(nb)` scan of bucket minima.
-        self.cal_len -= 1;
-        let mut best: Option<(usize, (u64, u64))> = None;
+        // Distinct buckets hold distinct days, so `at_us` alone
+        // discriminates — no tie-breaking needed across buckets.
+        let mut best: Option<(usize, u64)> = None;
         for (b, bucket) in self.buckets.iter().enumerate() {
             if let Some(s) = bucket.front() {
-                if best.is_none_or(|(_, k)| s.key() < k) {
-                    best = Some((b, s.key()));
+                if best.is_none_or(|(_, k)| s.at_us < k) {
+                    best = Some((b, s.at_us));
                 }
             }
         }
-        let (b, _) = best.expect("pop_cal on an empty calendar");
-        let slot = self.buckets[b].pop_front().expect("bucket minimum vanished");
-        self.current_day = slot.at_us >> self.width_log2;
-        slot
+        let (b, at_us) = best.expect("locate_min on an empty calendar");
+        self.current_day = at_us >> self.width_log2;
+        b
     }
 }
 
-impl<T> EventQueue<T> for CalendarQueue<T> {
+impl<T: Copy> EventQueue<T> for CalendarQueue<T> {
+    const SLOT_BYTES: usize = std::mem::size_of::<CalSlot<T>>();
+
     fn with_capacity(capacity: usize) -> Self {
         // Days-per-year from the backlog hint (clamped): larger queues get
         // longer years up front so churn doesn't bounce off the boundary
@@ -486,13 +796,14 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         let nb = 1usize << nb_log2;
         let width_log2 = 10; // ~1 ms days until adaptation observes the backlog
         Self {
-            buckets: std::iter::repeat_with(VecDeque::new).take(nb).collect(),
+            buckets: std::iter::repeat_with(Bucket::default).take(nb).collect(),
             cal_len: 0,
             width_log2,
             nb_log2,
             current_day: 0,
             boundary_us: year_end(0, width_log2, nb_log2),
             overflow: BinaryHeap::with_capacity(capacity),
+            demote_floor: 0,
             pops_since_advance: 0,
             near_misses: 0,
         }
@@ -500,24 +811,168 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
 
     #[inline]
     fn push(&mut self, at_us: u64, seq: u64, item: T) {
-        let slot = Slot { at_us, seq, item };
         if self.accepts(at_us) {
-            self.insert_cal(slot);
+            self.insert_cal(CalSlot { at_us, item });
         } else {
             if at_us - self.boundary_us < self.year_span() {
                 self.near_misses += 1;
             }
-            self.overflow.push(Reverse(slot));
+            self.overflow.push(Reverse(KeyedSlot { at_us, seq: signed_seq(seq), item }));
         }
     }
 
-    fn pop(&mut self) -> Option<(u64, u64, T)> {
+    fn push_batch(&mut self, seq0: u64, events: &[(u64, T)]) {
+        // Fanout-1 sends dominate tree dissemination; skip the grouping
+        // scan for them.
+        if let [(at_us, item)] = *events {
+            self.push(at_us, seq0, item);
+            return;
+        }
+        let mut k = 0;
+        while k < events.len() {
+            let (at_us, item) = events[k];
+            if !self.accepts(at_us) {
+                if at_us - self.boundary_us < self.year_span() {
+                    self.near_misses += 1;
+                }
+                let seq = signed_seq(seq0 + k as u64);
+                self.overflow.push(Reverse(KeyedSlot { at_us, seq, item }));
+                k += 1;
+                continue;
+            }
+            // One bucket locate serves the maximal monotone same-day run
+            // starting at k (the boundary may cut a day short, so
+            // acceptance is re-checked per event).
+            let day = at_us >> self.width_log2;
+            let mut end = k + 1;
+            while end < events.len() {
+                let a = events[end].0;
+                if a < events[end - 1].0 || a >> self.width_log2 != day || !self.accepts(a) {
+                    break;
+                }
+                end += 1;
+            }
+            if self.cal_len == 0 || day < self.current_day {
+                self.current_day = day;
+            }
+            let b = (day & (self.nb() - 1)) as usize;
+            let bucket = &mut self.buckets[b];
+            if bucket.back().is_none_or(|last| last.at_us <= at_us) {
+                // The run is non-decreasing and starts at or after the
+                // bucket's back, so the whole run appends FIFO.
+                for &(a, it) in &events[k..end] {
+                    bucket.push_back(CalSlot { at_us: a, item: it });
+                }
+            } else {
+                for &(a, it) in &events[k..end] {
+                    bucket.insert_sorted(CalSlot { at_us: a, item: it });
+                }
+            }
+            self.cal_len += end - k;
+            k = end;
+            // One overload check per run instead of per push.
+            self.check_overload(b);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
         if self.cal_len == 0 && !self.advance_year() {
             return None;
         }
-        let slot = self.pop_cal();
+        let b = self.locate_min();
+        self.cal_len -= 1;
+        let slot = self.buckets[b].pop_front();
         self.pops_since_advance += 1;
-        Some((slot.at_us, slot.seq, slot.item))
+        Some((slot.at_us, slot.item))
+    }
+
+    fn pop_lt(&mut self, cap_us: u64) -> Option<(u64, T)> {
+        if self.cal_len == 0 {
+            // Only cross the year boundary when the overflow minimum is
+            // actually due — a failed probe must leave the tiers alone.
+            match self.overflow.peek() {
+                Some(Reverse(s)) if s.at_us < cap_us => {}
+                _ => return None,
+            }
+            self.advance_year();
+        }
+        // `locate_min` persists the cursor advance, so repeated failed
+        // probes re-walk nothing: the next probe starts at the min's day.
+        let b = self.locate_min();
+        let front = self.buckets[b].front().expect("located bucket is non-empty");
+        if front.at_us >= cap_us {
+            return None;
+        }
+        self.cal_len -= 1;
+        let slot = self.buckets[b].pop_front();
+        self.pops_since_advance += 1;
+        Some((slot.at_us, slot.item))
+    }
+
+    fn pop_run(
+        &mut self,
+        window_us: u64,
+        cap_us: u64,
+        max: usize,
+        out: &mut Vec<(u64, T)>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        // The first event goes through the full pop (year advance,
+        // cursor walk); the run then extends with front sweeps of the
+        // cursor-day bucket.
+        let Some(first) = self.pop_lt(cap_us) else { return 0 };
+        let limit = first.0.saturating_add(window_us).min(cap_us);
+        out.push(first);
+        let mut n = 1;
+        while n < max {
+            if self.cal_len == 0 {
+                // The next candidate sits in overflow: only cross the
+                // year boundary when it is inside the window.
+                match self.overflow.peek() {
+                    Some(Reverse(s)) if s.at_us < limit => {}
+                    _ => break,
+                }
+                if !self.advance_year() {
+                    break;
+                }
+            }
+            let b = self.locate_min();
+            let day = self.current_day;
+            let w = self.width_log2;
+            // The cursor day ends at `(day + 1) << w` (saturating at the
+            // top of the range), so one compare bounds the run by both
+            // the window and the day.
+            let day_end = match day.checked_add(1) {
+                Some(d1) if d1 <= (u64::MAX >> w) => d1 << w,
+                _ => u64::MAX,
+            };
+            let lim = limit.min(day_end);
+            let take = max - n;
+            let bucket = &mut self.buckets[b];
+            // Count the front run on the bucket's contiguous pending
+            // slice, copy it out in one pass, and consume it with one
+            // cursor bump instead of per-event pops.
+            let pending = bucket.pending();
+            let mut run = 0usize;
+            while run < take && run < pending.len() && pending[run].at_us < lim {
+                run += 1;
+            }
+            out.extend(pending[..run].iter().map(|s| (s.at_us, s.item)));
+            bucket.consume(run);
+            self.cal_len -= run;
+            n += run;
+            // Credit the drained pops to the year they came from, before
+            // a later iteration's `advance_year` reads the counter for
+            // its feedback decisions and resets it.
+            self.pops_since_advance += run as u64;
+            if run == 0 {
+                // The calendar minimum is outside the window.
+                break;
+            }
+        }
+        n
     }
 
     fn len(&self) -> usize {
@@ -531,7 +986,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn drain<T, Q: EventQueue<T>>(q: &mut Q) -> Vec<(u64, u64, T)> {
+    fn drain<T: Copy, Q: EventQueue<T>>(q: &mut Q) -> Vec<(u64, T)> {
         let mut out = Vec::with_capacity(q.len());
         while let Some(e) = q.pop() {
             out.push(e);
@@ -539,19 +994,23 @@ mod tests {
         out
     }
 
-    /// Pushes `keys` and checks the pop order equals the sorted order.
+    /// Pushes `keys` (payload = push index) and checks the pop order
+    /// equals the stable sorted order — `(at_us, creation)` — on both
+    /// backends.
     fn assert_sorted_drain(keys: &[u64]) {
         let mut cal = CalendarQueue::with_capacity(keys.len());
         let mut heap = HeapQueue::with_capacity(keys.len());
         for (seq, &at) in keys.iter().enumerate() {
-            cal.push(at, seq as u64, seq);
-            heap.push(at, seq as u64, seq);
+            cal.push(at, seq as u64, seq as u64);
+            heap.push(at, seq as u64, seq as u64);
         }
         assert_eq!(cal.len(), keys.len());
         let c = drain(&mut cal);
         let h = drain(&mut heap);
         assert_eq!(c, h);
-        assert!(c.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        // Payloads are creation stamps, so the strict (time, creation)
+        // order is directly checkable on the output.
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -571,7 +1030,7 @@ mod tests {
     }
 
     #[test]
-    fn all_equal_times_resolve_by_seq() {
+    fn all_equal_times_resolve_in_creation_order() {
         assert_sorted_drain(&vec![42u64; 500]);
     }
 
@@ -599,17 +1058,19 @@ mod tests {
         let mut q: CalendarQueue<u32> = CalendarQueue::with_capacity(8);
         q.push(5_000_000, 0, 0);
         q.push(9_000_000, 1, 1);
-        assert_eq!(q.pop(), Some((5_000_000, 0, 0)));
+        assert_eq!(q.pop(), Some((5_000_000, 0)));
         // The cursor now sits at 5 ms; a push before it must rewind it.
         q.push(1_000, 2, 2);
-        assert_eq!(q.pop(), Some((1_000, 2, 2)));
-        assert_eq!(q.pop(), Some((9_000_000, 1, 1)));
+        assert_eq!(q.pop(), Some((1_000, 2)));
+        assert_eq!(q.pop(), Some((9_000_000, 1)));
         assert!(q.is_empty());
     }
 
     /// The headline oracle property: on random interleaved push/pop
     /// streams the calendar queue is observationally identical to the
     /// binary heap, across distributions and resize-triggering sizes.
+    /// (The workspace-root `tests/queue_properties.rs` extends this to
+    /// bulk operations and adversarial tie storms.)
     #[test]
     fn oracle_property_random_interleaved_streams() {
         #[derive(Clone, Copy)]
@@ -677,5 +1138,87 @@ mod tests {
         // overload rule must refine the width; the queue stays ordered.
         let keys: Vec<u64> = (0..10_000u64).map(|i| 500 + i % 997).collect();
         assert_sorted_drain(&keys);
+    }
+
+    #[test]
+    fn rebuild_demotions_preserve_creation_order_among_ties() {
+        // Dense distinct timestamps inside one day force an overload
+        // shrink whose rebuild demotes the day's far end — including
+        // blocks of *equal* keys — back to the overflow tier. Their
+        // synthesized tie-breakers must keep creation order exact.
+        let mut keys: Vec<u64> = Vec::new();
+        for i in 0..200u64 {
+            // 5 creation-ordered twins per timestamp, timestamps dense
+            // enough to overload the ~1 ms startup day width.
+            keys.extend(std::iter::repeat_n(i * 7, 5));
+        }
+        // Out-of-order echo of the same timestamps: lands behind the
+        // first wave in creation order.
+        keys.extend((0..200u64).rev().map(|i| i * 7));
+        assert_sorted_drain(&keys);
+    }
+
+    #[test]
+    fn pop_run_matches_scalar_pops() {
+        for window in [0u64, 1, 100, 10_000, u64::MAX] {
+            let mut rng = StdRng::seed_from_u64(window ^ 0xCAFE);
+            let keys: Vec<u64> = (0..3_000).map(|_| rng.gen_range(0..500_000u64)).collect();
+            let mut bulk: CalendarQueue<u64> = CalendarQueue::with_capacity(keys.len());
+            let mut scalar: HeapQueue<u64> = HeapQueue::with_capacity(keys.len());
+            for (seq, &at) in keys.iter().enumerate() {
+                bulk.push(at, seq as u64, seq as u64);
+                scalar.push(at, seq as u64, seq as u64);
+            }
+            let mut got = Vec::new();
+            while bulk.pop_run(window, u64::MAX, 16, &mut got) > 0 {}
+            assert_eq!(got, drain(&mut scalar), "window {window}");
+        }
+    }
+
+    #[test]
+    fn pop_lt_is_a_strict_non_mutating_probe() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::with_capacity(8);
+        q.push(100, 0, 0);
+        q.push(2_000_000_000, 1, 1); // far future: overflow tier
+        assert_eq!(q.pop_lt(100), None, "strict bound excludes the minimum itself");
+        assert_eq!(q.len(), 2, "failed probe must not disturb the queue");
+        assert_eq!(q.pop_lt(101), Some((100, 0)));
+        // The next candidate sits beyond the year boundary; a probe below
+        // it must not force a year advance.
+        assert_eq!(q.pop_lt(1_000_000_000), None);
+        assert_eq!(q.pop_lt(u64::MAX), Some((2_000_000_000, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_batch_matches_scalar_pushes() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let mut bulk: CalendarQueue<u64> = CalendarQueue::with_capacity(0);
+        let mut scalar: HeapQueue<u64> = HeapQueue::with_capacity(0);
+        let mut seq = 0u64;
+        for _ in 0..200 {
+            // A send group: a serial CPU's arrival times — mostly
+            // ascending, occasional jitter, occasional same-day ties and
+            // far-future outliers crossing the boundary.
+            let base = rng.gen_range(0..1_000_000u64);
+            let group: Vec<(u64, u64)> = (0..rng.gen_range(1..24u64))
+                .map(|i| {
+                    let jitter = rng.gen_range(0..2_000u64);
+                    let at = if rng.gen::<u64>() % 40 == 0 {
+                        base + 2_000_000_000 + jitter
+                    } else {
+                        base + i * 120 + jitter
+                    };
+                    let payload = seq + i;
+                    (at, payload)
+                })
+                .collect();
+            bulk.push_batch(seq, &group);
+            for (k, &(at, payload)) in group.iter().enumerate() {
+                scalar.push(at, seq + k as u64, payload);
+            }
+            seq += group.len() as u64;
+        }
+        assert_eq!(drain(&mut bulk), drain(&mut scalar));
     }
 }

@@ -30,9 +30,17 @@
 //! decisions go through the disseminator's batched check kernel
 //! (`on_source_update_into` / `on_repo_update_into`) into a reusable
 //! [`ForwardScratch`], so the steady-state deliver loop never touches
-//! the heap. [`Engine::run`] deliberately keeps driving the allocating
-//! scalar-oracle methods — the bit-identity property tests therefore
-//! cross-check the kernel against the oracle on every full run.
+//! the heap. Queue traffic is bulk too: each send group is enqueued
+//! with one [`EventQueue::push_batch`], the drain pops reorder-free
+//! runs with [`EventQueue::pop_run`], and the pre-seeded source changes
+//! are merged from a sorted stream instead of transiting the queue at
+//! all (see the engine's performance model). [`Engine::run`]
+//! deliberately keeps driving the allocating scalar-oracle methods over
+//! scalar queue ops — the bit-identity property tests therefore
+//! cross-check both the kernel against the oracle and the bulk queue
+//! contract against scalar push/pop on every full run.
+
+use std::collections::VecDeque;
 
 use d3t_core::dissemination::{Disseminator, ForwardScratch, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
@@ -40,7 +48,7 @@ use d3t_core::lela::DelayMicros;
 use d3t_core::overlay::{NodeIdx, SOURCE};
 
 use crate::dynamics::{Dynamic, DynamicError};
-use crate::engine::{Engine, Event, EventKind};
+use crate::engine::{Engine, Event, EventKind, TagTable};
 use crate::metrics::Metrics;
 use crate::observer::{NoopObserver, Observer};
 use crate::queue::{CalendarQueue, EventQueue};
@@ -63,14 +71,32 @@ pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Obser
     observer: O,
     /// Simulation time: the latest event processed or `run_until` target.
     now_us: u64,
-    /// One event popped past a `run_until` boundary, waiting to be
-    /// re-interleaved (injections may schedule ahead of it).
-    lookahead: Option<(u64, u64, EventKind)>,
+    /// Events popped but not yet processed (e.g. past a `run_until`
+    /// boundary), waiting to be re-interleaved — injections may schedule
+    /// ahead of them. Kept in pop order, which is global `(at_us, seq)`
+    /// order; on a time tie a held event always precedes anything still
+    /// in the queue, because everything equal-time in the queue was
+    /// created after it was popped (the queue pops ties in creation
+    /// order and creation stamps only grow).
+    lookahead: VecDeque<(u64, EventKind)>,
+    /// Decodes the NaN-boxed tag ids of centralized arrivals.
+    tags: TagTable,
+    /// The pre-seeded source changes, streamed rather than enqueued (see
+    /// the engine's field docs): the stream head outranks equal-time
+    /// queue entries, and a stashed stream event moves to `lookahead`.
+    source_stream: Vec<(u64, EventKind)>,
+    /// Next unprocessed `source_stream` entry.
+    stream_cursor: usize,
     /// Reused forwarding-decision buffer: the disseminator's batched
     /// check kernel fills it in place, so the steady-state deliver path
     /// performs zero heap allocations (the sealed reference engine keeps
     /// allocating per event — it drives the scalar oracle).
     scratch: ForwardScratch,
+    /// Reused send-group buffer `transmit` assembles arrivals in before
+    /// handing the whole group to `EventQueue::push_batch`.
+    send_buf: Vec<(u64, EventKind)>,
+    /// Reused drain buffer `EventQueue::pop_run` fills.
+    run_buf: Vec<(u64, EventKind)>,
     /// How far ahead of the earliest pending event the drain loop may
     /// pop a run of events before processing any of them: every
     /// transmission scheduled by processing an event at `t` arrives at
@@ -101,8 +127,13 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             end_us: engine.end_us,
             observer,
             now_us: 0,
-            lookahead: None,
+            lookahead: VecDeque::new(),
+            tags: engine.tags,
+            source_stream: engine.source_stream,
+            stream_cursor: engine.stream_cursor,
             scratch: ForwardScratch::new(),
+            send_buf: Vec::new(),
+            run_buf: Vec::new(),
         }
     }
 
@@ -117,9 +148,17 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
         self.end_us
     }
 
-    /// Events still scheduled (including a held-back lookahead event).
+    /// Events still scheduled (including held-back lookahead events and
+    /// unprocessed pre-seeded source changes).
     pub fn pending(&self) -> usize {
-        self.queue.len() + usize::from(self.lookahead.is_some())
+        self.queue.len() + self.lookahead.len() + (self.source_stream.len() - self.stream_cursor)
+    }
+
+    /// Unpacks a scheduled event's payload (e.g. what [`Session::step`]
+    /// returned) into the ergonomic [`Event`] view, resolving any
+    /// centralized tag through this session's side table.
+    pub fn classify(&self, kind: EventKind) -> Event {
+        kind.classify(&self.tags)
     }
 
     /// Counters accumulated so far.
@@ -147,7 +186,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// payload)`, or `None` when no events remain. Advances `now_us` to
     /// the event time.
     pub fn step(&mut self) -> Option<(u64, EventKind)> {
-        let (at_us, _seq, kind) = self.next_event()?;
+        let (at_us, kind) = self.next_event()?;
         self.process(at_us, kind, 0);
         Some((at_us, kind))
     }
@@ -165,27 +204,21 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 self.stash(ev);
                 break;
             }
-            self.process(ev.0, ev.2, 0);
+            self.process(ev.0, ev.1, 0);
             processed += 1;
         }
         self.now_us = self.now_us.max(t_us);
         processed
     }
 
-    /// Returns an un-processed event to the pending set. The smaller key
-    /// stays in the lookahead slot; a displaced event goes back into the
-    /// queue under its original `(at_us, seq)` key, so the total order is
-    /// unchanged.
-    fn stash(&mut self, ev: (u64, u64, EventKind)) {
-        match self.lookahead.take() {
-            None => self.lookahead = Some(ev),
-            Some(other) => {
-                let (keep, back) =
-                    if (ev.0, ev.1) <= (other.0, other.1) { (ev, other) } else { (other, ev) };
-                self.queue.push(back.0, back.1, back.2);
-                self.lookahead = Some(keep);
-            }
-        }
+    /// Returns an un-processed event to the pending set. It came out of
+    /// [`Session::next_event`], so it is the global minimum and belongs
+    /// at the lookahead front; nothing is ever pushed back into the
+    /// queue (a re-push would put it behind newer equal-time events, the
+    /// one thing the queue's creation-order tie-breaking cannot absorb).
+    fn stash(&mut self, ev: (u64, EventKind)) {
+        debug_assert!(self.lookahead.front().is_none_or(|f| ev.0 <= f.0));
+        self.lookahead.push_front(ev);
     }
 
     /// Drains every remaining event and produces the final report — the
@@ -208,53 +241,68 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// Drains every remaining event — the hot loop behind
     /// [`Session::finish`] / [`Session::run_to_end`].
     ///
-    /// Events are popped in short **batches** inside the safety window
+    /// Events are popped in short **batched runs** straight out of the
+    /// queue ([`EventQueue::pop_run`]) inside the safety window
     /// (`batch_window_us`): processing an event at `t` can only schedule
     /// arrivals at or after `t + comp_delay + min link delay`, so a run
     /// of events closer together than that is already in its final order
-    /// — nothing processing them can schedule may interleave. Knowing
-    /// the next few events up front lets the loop *prefetch* the
-    /// scattered per-(node, item) state they will touch, overlapping
-    /// cache misses that a strict pop-process-pop chain serializes.
-    /// Processing order — and therefore every observable — is exactly
-    /// the one-at-a-time order; the property tests pin it against the
-    /// sealed reference engine.
+    /// — nothing processing them can schedule may interleave. The bulk
+    /// pop takes the run in one cursor locate and bucket sweep instead
+    /// of a full pop per event, and knowing the next few events up front
+    /// lets the loop *prefetch* the scattered per-(node, item) state
+    /// they will touch, overlapping cache misses that a strict
+    /// pop-process-pop chain serializes. Processing order — and
+    /// therefore every observable — is exactly the one-at-a-time order;
+    /// the property tests pin it against the sealed reference engine.
     fn drain(&mut self) {
-        const BATCH: usize = 16;
+        const BATCH: usize = 32;
         if self.batch_window_us == 0 {
             while self.step().is_some() {}
             return;
         }
+        let mut buf = std::mem::take(&mut self.run_buf);
         loop {
-            let Some(first) = self.next_event() else { return };
-            let mut batch = [first; BATCH];
-            let limit = first.0.saturating_add(self.batch_window_us);
-            let mut n = 1;
-            while n < BATCH {
+            if !self.lookahead.is_empty() {
+                // A held-back event may interleave anywhere; take the
+                // scalar path until the lookahead drains.
                 match self.next_event() {
                     None => break,
-                    Some(ev) if ev.0 < limit => {
-                        batch[n] = ev;
-                        n += 1;
+                    Some((at_us, kind)) => self.process(at_us, kind, 0),
+                }
+                continue;
+            }
+            // Queue runs are capped at the source stream's head: the
+            // head outranks every equal-or-later arrival.
+            let cap_us =
+                self.source_stream.get(self.stream_cursor).map_or(u64::MAX, |&(at_us, _)| at_us);
+            buf.clear();
+            let n = self.queue.pop_run(self.batch_window_us, cap_us, BATCH, &mut buf);
+            if n == 0 {
+                // Nothing below the stream head: defer to the scalar
+                // three-way merge for the tail (the stream head itself,
+                // a `u64::MAX` residue arrival, or done) — one source of
+                // truth for the tie precedence.
+                match self.next_event() {
+                    Some((at_us, kind)) => {
+                        self.process(at_us, kind, 0);
+                        continue;
                     }
-                    Some(ev) => {
-                        self.stash(ev);
-                        break;
-                    }
+                    None => break,
                 }
             }
-            for &(_, _, kind) in &batch[1..n] {
-                if let Event::Arrival { node, update } = kind.classify() {
-                    self.disseminator.prefetch_row(node, update.item);
-                    self.fidelity.prefetch_pair(node, update.item);
+            for &(_, kind) in &buf[1..n] {
+                if let Some((node, item)) = kind.arrival_target() {
+                    self.disseminator.prefetch_row(node, item);
+                    self.fidelity.prefetch_pair(node, item);
                 }
             }
-            for (i, &(at_us, _, kind)) in batch[..n].iter().enumerate() {
-                // Events the batch still holds are pending from any
+            for (i, &(at_us, kind)) in buf[..n].iter().enumerate() {
+                // Events the run still holds are pending from any
                 // observer's point of view.
                 self.process(at_us, kind, n - 1 - i);
             }
         }
+        self.run_buf = buf;
     }
 
     /// Applies a [`Dynamic`] at the session's current time. Violation
@@ -321,24 +369,34 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
         }
     }
 
-    /// The globally minimal scheduled event: the queue minimum merged
-    /// with the held-back lookahead slot (an injection may have scheduled
-    /// arrivals ahead of it).
-    fn next_event(&mut self) -> Option<(u64, u64, EventKind)> {
-        match self.lookahead.take() {
-            None => self.queue.pop(),
-            Some(held) => match self.queue.pop() {
-                None => Some(held),
-                Some(popped) => {
-                    if (popped.0, popped.1) < (held.0, held.1) {
-                        self.lookahead = Some(held);
-                        Some(popped)
-                    } else {
-                        self.lookahead = Some(popped);
-                        Some(held)
-                    }
-                }
-            },
+    /// The globally minimal scheduled event: the three-way merge of the
+    /// held-back lookahead events, the pre-seeded source stream, and the
+    /// queue of in-flight arrivals. Tie precedence is lookahead → stream
+    /// → queue: a held event predates anything equal-time elsewhere (it
+    /// was popped while it was the global minimum and creation stamps
+    /// only grow), and a stream event predates every equal-time arrival
+    /// (all pre-seeded stamps are below every arrival stamp). The
+    /// strictly-capped queue pop enforces both without ever over-popping,
+    /// so nothing is parked back.
+    fn next_event(&mut self) -> Option<(u64, EventKind)> {
+        let held_at = self.lookahead.front().map(|e| e.0);
+        let head = self.source_stream.get(self.stream_cursor).copied();
+        let cap_us = held_at.unwrap_or(u64::MAX).min(head.map_or(u64::MAX, |(at, _)| at));
+        if let Some(popped) = self.queue.pop_lt(cap_us) {
+            return Some(popped);
+        }
+        match (held_at, head) {
+            (Some(h), Some((c, _))) if h > c => {
+                self.stream_cursor += 1;
+                head
+            }
+            (Some(_), _) => self.lookahead.pop_front(),
+            (None, Some(_)) => {
+                self.stream_cursor += 1;
+                head
+            }
+            // Only events at exactly `u64::MAX` remain reachable here.
+            (None, None) => self.queue.pop(),
         }
     }
 
@@ -350,7 +408,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     fn process(&mut self, at_us: u64, kind: EventKind, held: usize) {
         self.metrics.events += 1;
         self.now_us = at_us;
-        match kind.classify() {
+        match kind.classify(&self.tags) {
             Event::SourceChange { item, value } => {
                 self.metrics.source_updates += 1;
                 self.observer.on_source_change(at_us, item, value);
@@ -362,6 +420,22 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                     self.observer.on_dropped(at_us, node, &update);
                 } else {
                     self.observer.on_delivery(at_us, node, &update);
+                    // Forwarding decision first: knowing the recipients
+                    // lets the per-send delay cells prefetch while the
+                    // fidelity accounting runs (the matrix gather is
+                    // otherwise the loop's hottest stall). Disseminator
+                    // and fidelity state are disjoint, and the observer
+                    // still sees delivery → violations → sends.
+                    //
+                    // The scratch is taken out of `self` for the
+                    // decision + transmit (a pointer move, not an
+                    // allocation) so the disjoint borrows stay obvious.
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.disseminator.on_repo_update_into(node, update, &mut scratch);
+                    self.metrics.repo_checks += scratch.checks();
+                    for &child in scratch.to().iter().take(16) {
+                        self.delays_us.prefetch(node, child);
+                    }
                     let fidelity = &mut self.fidelity;
                     let observer = &mut self.observer;
                     fidelity.repo_update_sink(
@@ -377,13 +451,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                             }
                         },
                     );
-                    // Take the scratch out of `self` for the duration of
-                    // the decision + transmit (a pointer move, not an
-                    // allocation) so the disjoint borrows stay obvious.
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    self.disseminator.on_repo_update_into(node, update, &mut scratch);
-                    self.metrics.repo_checks += scratch.checks();
-                    self.transmit(node, at_us, scratch.update(), scratch.to());
+                    self.transmit(node, at_us, scratch.update(), scratch.to(), Some(kind));
                     self.scratch = scratch;
                 }
             }
@@ -392,8 +460,16 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     }
 
     /// Fidelity + filtering + dissemination of one source-side value,
-    /// shared by trace ticks and injected hot-swaps.
+    /// shared by trace ticks and injected hot-swaps. As in the arrival
+    /// path, the forwarding decision runs first so the per-send delay
+    /// cells can prefetch under the fidelity column scan.
     fn apply_source_change(&mut self, at_us: u64, item: d3t_core::item::ItemId, value: f64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.disseminator.on_source_update_into(item, value, &mut scratch);
+        self.metrics.source_checks += scratch.checks();
+        for &child in scratch.to().iter().take(16) {
+            self.delays_us.prefetch(SOURCE, child);
+        }
         let fidelity = &mut self.fidelity;
         let observer = &mut self.observer;
         fidelity.source_update_sink(at_us, item, value, &mut |repo, it, opened| {
@@ -403,34 +479,45 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 observer.on_violation_close(at_us, repo, it);
             }
         });
-        let mut scratch = std::mem::take(&mut self.scratch);
-        self.disseminator.on_source_update_into(item, value, &mut scratch);
-        self.metrics.source_checks += scratch.checks();
-        self.transmit(SOURCE, at_us, scratch.update(), scratch.to());
+        self.transmit(SOURCE, at_us, scratch.update(), scratch.to(), None);
         self.scratch = scratch;
     }
 
     /// Serially prepares and sends `update` from `node` to each
     /// recipient — identical arithmetic to the reference engine, plus the
-    /// per-message `on_send` tap.
-    fn transmit(&mut self, node: NodeIdx, now_us: u64, update: Update, to: &[NodeIdx]) {
+    /// per-message `on_send` tap. The send group is assembled in the
+    /// reused `send_buf` and enqueued with one
+    /// [`EventQueue::push_batch`]; `relayed` is the event being
+    /// forwarded, when there is one, so a centralized relay reuses its
+    /// interned tag pair instead of growing the side table.
+    fn transmit(
+        &mut self,
+        node: NodeIdx,
+        now_us: u64,
+        update: Update,
+        to: &[NodeIdx],
+        relayed: Option<EventKind>,
+    ) {
         if to.is_empty() {
             return;
         }
+        let template = EventKind::arrival_template(update, relayed, &mut self.tags);
         let delay_row = self.delays_us.row(node);
         let mut cpu = self.busy_until_us[node.index()].max(now_us);
+        self.send_buf.clear();
         for &child in to {
             cpu += self.comp_delay_us;
             self.metrics.messages += 1;
-            let arrival_us = cpu + delay_row[child.index()];
+            let arrival_us = cpu + u64::from(delay_row[child.index()]);
             self.observer.on_send(now_us, node, child, &update, arrival_us);
             if arrival_us > self.end_us {
                 self.metrics.undelivered += 1;
                 continue;
             }
-            self.queue.push(arrival_us, self.next_seq, EventKind::arrival(child, update));
-            self.next_seq += 1;
+            self.send_buf.push((arrival_us, template.at_node(child)));
         }
+        self.queue.push_batch(self.next_seq, &self.send_buf);
+        self.next_seq += self.send_buf.len() as u64;
         self.busy_until_us[node.index()] = cpu;
     }
 }
