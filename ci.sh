@@ -38,6 +38,17 @@ cargo run --release -q -p d3t-experiments --bin repro -- dynamics --tiny | grep 
 filter_out=$(cargo run --release -q -p d3t-experiments --bin repro -- filter --tiny | grep -o 'FILTER .*')
 echo "$filter_out"
 test "$(echo "$filter_out" | grep -c 'FILTER protocol=.* checks=.* checks_per_sec=')" -eq 4
+# Per-phase drain telemetry: one timed batched run whose wall clock is
+# attributed to the session's queue/process/fidelity/transmit phases
+# from the always-on cycle counters (the binary asserts the four shares
+# sum to the run's wall time within 5%). PHASE lines are the greppable
+# trail; the JSON document lands in BENCH_phases.json.
+phase_out=$(cargo run --release -q -p d3t-experiments --bin repro -- phases)
+echo "$phase_out" | grep '^PHASE'
+test "$(echo "$phase_out" | grep -c '^PHASE name=.* events=.* wall_us=')" -eq 4
+echo "$phase_out" | grep -v '^PHASE' > BENCH_phases.json
+test "$(grep -c '"phase": "\(queue\|process\|fidelity\|transmit\)"' BENCH_phases.json)" -eq 4
 cat BENCH_queue.json
+cat BENCH_phases.json
 
 echo "CI green."

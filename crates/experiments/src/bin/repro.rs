@@ -10,6 +10,7 @@
 //! repro smoke                     # one timed run, machine-readable line
 //! repro filter                    # timed run per protocol, FILTER lines
 //! repro queue-json                # per-backend queue perf as one JSON doc
+//! repro phases                    # per-phase drain telemetry, PHASE lines + JSON
 //! repro list                      # enumerate experiment ids
 //! ```
 //!
@@ -27,6 +28,15 @@
 //!
 //! ```text
 //! FILTER protocol=distributed checks=1796242 checks_per_sec=10683185
+//! ```
+//!
+//! `phases` runs one batched-drain cell and splits its wall clock across
+//! the session's four drain phases from the always-on cycle counters —
+//! one `PHASE` line per phase (they sum to the run's wall time) plus a
+//! JSON document `ci.sh` lands in `BENCH_phases.json`:
+//!
+//! ```text
+//! PHASE name=process events=243210 wall_us=93011
 //! ```
 //!
 //! Requested experiments fan out over the parallel sweep runner
@@ -158,6 +168,78 @@ fn queue_json(scale: &Scale) {
     println!("}}");
 }
 
+/// One timed base-config run through the batched drain, attributing
+/// wall time to the session's four drain phases (queue / process /
+/// fidelity / transmit) from its always-on cycle counters. Emits one
+/// greppable `PHASE` line per phase plus one JSON document — `ci.sh`
+/// splits the two and lands the JSON in `BENCH_phases.json`, so the
+/// drain's per-phase cost structure is a tracked artifact across PRs.
+///
+/// Cycle counters are relative (the TSC is never converted to time on
+/// its own); each phase's `wall_us` is its cycle share of the measured
+/// whole-run wall clock, so the four values sum to the run's wall time
+/// by construction — asserted within 5% here so an attribution gap in
+/// the session's stamping shows up as a CI failure, not a silent skew.
+fn phases(scale: &Scale) {
+    use d3t_sim::{CalendarQueue, EventKind, HeapQueue, NoopObserver, PhaseStats};
+    let prepared = scale.prepared();
+    let cfg = prepared.config().clone();
+    fn timed<Q: d3t_sim::EventQueue<EventKind>>(
+        prepared: &d3t_sim::Prepared,
+    ) -> (PhaseStats, u64, u64) {
+        let mut session = prepared.session_with::<Q, _>(NoopObserver);
+        let start = Instant::now();
+        session.drain_to_end();
+        let wall_us = start.elapsed().as_micros().max(1) as u64;
+        (*session.phase_stats(), session.metrics().events, wall_us)
+    }
+    let (queue, (stats, events, wall_us)) = match cfg.queue {
+        QueueBackend::Calendar => ("calendar", timed::<CalendarQueue<EventKind>>(&prepared)),
+        QueueBackend::Heap => ("heap", timed::<HeapQueue<EventKind>>(&prepared)),
+    };
+    let total_cycles = stats.total_cycles().max(1);
+    let parts: Vec<(&str, u64, u64, u64)> = stats
+        .named()
+        .iter()
+        .map(|(name, c)| {
+            let w = ((c.cycles as u128 * wall_us as u128) / total_cycles as u128) as u64;
+            (*name, c.ops, w, c.cycles)
+        })
+        .collect();
+    let attributed: u64 = parts.iter().map(|p| p.2).sum();
+    // Proportional flooring loses at most 4 µs total; anything larger
+    // means the drain stopped stamping a pass boundary.
+    if stats.total_cycles() > 0 {
+        assert!(
+            (attributed as f64 - wall_us as f64).abs() <= 0.05 * wall_us as f64,
+            "phase wall attribution drifted: {attributed} of {wall_us} µs"
+        );
+    }
+    for (name, ops, w, _) in &parts {
+        println!("PHASE name={name} events={ops} wall_us={w}");
+    }
+    println!("{{");
+    println!(
+        "  \"scale\": {{\"repos\": {}, \"items\": {}, \"ticks\": {}, \"seed\": {}}},",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    println!(
+        "  \"queue\": \"{queue}\", \"events\": {events}, \"wall_us\": {wall_us}, \
+         \"runs\": {},",
+        stats.runs
+    );
+    println!("  \"phases\": [");
+    for (i, (name, ops, w, cycles)) in parts.iter().enumerate() {
+        let comma = if i + 1 < parts.len() { "," } else { "" };
+        println!(
+            "    {{\"phase\": \"{name}\", \"events\": {ops}, \"wall_us\": {w}, \
+             \"cycles\": {cycles}}}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
 /// One timed base-config run per protocol; the `FILTER` lines CI greps
 /// for check-path throughput tracking (the fig8 flood baseline and the
 /// fig11 centralized/distributed comparison at matched workloads).
@@ -191,6 +273,7 @@ fn main() {
     let mut run_smoke = false;
     let mut run_filter = false;
     let mut run_queue_json = false;
+    let mut run_phases = false;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -210,6 +293,7 @@ fn main() {
             "smoke" => run_smoke = true,
             "filter" => run_filter = true,
             "queue-json" => run_queue_json = true,
+            "phases" => run_phases = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -217,6 +301,16 @@ fn main() {
             "--seed" => {
                 let v = iter.next().expect("--seed needs a value");
                 scale.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--batch" => {
+                let v = iter.next().expect("--batch needs a value");
+                scale.batch_events = Some(v.parse().expect("--batch must be an integer"));
+            }
+            "--repos" => {
+                let v = iter.next().expect("--repos needs a value");
+                scale.n_repos = v.parse().expect("--repos must be an integer");
+                // Keep the paper's 7-nodes-per-repository fabric ratio.
+                scale.n_network_nodes = scale.n_repos * 7;
             }
             "list" => {
                 for id in IDS {
@@ -235,11 +329,11 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke || run_filter || run_queue_json {
+    if run_smoke || run_filter || run_queue_json || run_phases {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke`/`filter`/`queue-json` run timed cells and cannot be combined with \
-                 experiment ids"
+                "`smoke`/`filter`/`queue-json`/`phases` run timed cells and cannot be combined \
+                 with experiment ids"
             );
             std::process::exit(2);
         }
@@ -251,6 +345,9 @@ fn main() {
         }
         if run_queue_json {
             queue_json(&scale);
+        }
+        if run_phases {
+            phases(&scale);
         }
         return;
     }

@@ -21,6 +21,9 @@ pub struct Scale {
     /// Scheduler backend every experiment cell runs with (`repro --queue
     /// heap` forces the fallback; results are backend independent).
     pub queue: QueueBackend,
+    /// Per-run drain staging cap (`repro --batch N` overrides; `None`
+    /// keeps the simulator default; results are cap independent).
+    pub batch_events: Option<usize>,
 }
 
 impl Scale {
@@ -33,6 +36,7 @@ impl Scale {
             n_network_nodes: 700,
             seed: 0x5EED,
             queue: QueueBackend::default(),
+            batch_events: None,
         }
     }
 
@@ -50,6 +54,7 @@ impl Scale {
     /// A [`SimConfig`] at this scale with the paper's defaults everywhere
     /// else.
     pub fn base_config(&self) -> SimConfig {
+        let defaults = SimConfig::default();
         SimConfig {
             n_repos: self.n_repos,
             n_items: self.n_items,
@@ -61,7 +66,8 @@ impl Scale {
             },
             seed: self.seed,
             queue: self.queue,
-            ..SimConfig::default()
+            batch_events: self.batch_events.unwrap_or(defaults.batch_events),
+            ..defaults
         }
     }
 

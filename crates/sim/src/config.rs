@@ -65,6 +65,11 @@ pub struct SimConfig {
     /// Scheduler backend for the event loop. Results are backend
     /// independent; this only trades wall clock.
     pub queue: QueueBackend,
+    /// Upper bound on the events a session's drain stages per batched
+    /// run (clamped to ≥ 1; 1 disables batching). Results are
+    /// cap-independent — batching never reorders observable work; this
+    /// only trades staging-buffer footprint against amortization.
+    pub batch_events: usize,
     /// Master seed; all substreams derive from it.
     pub seed: u64,
 }
@@ -89,6 +94,7 @@ impl Default for SimConfig {
             network: NetworkConfig::default(),
             ensemble: EnsembleConfig::default(),
             queue: QueueBackend::default(),
+            batch_events: crate::session::DEFAULT_BATCH_EVENTS,
             seed: 0x5EED,
         }
     }

@@ -104,7 +104,7 @@ pub use observer::{EventTrace, NoopObserver, Observer, TraceEvent, WindowPoint, 
 pub use prepared::Prepared;
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend, QueueVisitor};
 pub use report::RunReport;
-pub use session::Session;
+pub use session::{PhaseCounter, PhaseStats, Session};
 
 /// Prepares and runs a complete simulation from a configuration — the
 /// sealed-run compatibility wrapper over [`Session`], bit-identical to

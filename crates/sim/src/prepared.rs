@@ -126,7 +126,9 @@ impl Prepared {
         &self,
         observer: O,
     ) -> Session<Q, O> {
-        Session::from_engine(self.engine(), observer)
+        let mut session = Session::from_engine(self.engine(), observer);
+        session.set_batch_events(self.cfg.batch_events);
+        session
     }
 
     /// The sealed reference engine over this prepared run (the oracle the

@@ -138,15 +138,17 @@
 //!
 //! At the paper-scale whole run (600 repos / 100 items / 10k ticks,
 //! 1-core container, `engine_throughput` bench) the slim-slot calendar
-//! sustains ~8.8–9.2 M events/s moving ~47.6 slot bytes per event
-//! (PR 4's seq-carrying 40-byte slots: ~8.0–8.4 M events/s at ~80
-//! bytes), and replays the recorded arrival trace at ~56 M queue ops/s
-//! vs the heap's ~45 M. Because the engine now *streams* its pre-seeded
+//! sustains ~7.4–7.7 M events/s moving ~47.6 slot bytes per event
+//! (PR 4's seq-carrying 40-byte slots moved ~80 bytes; absolute rates
+//! drift ~20% between PRs with shared-host load, so cross-PR deltas are
+//! judged against the same-process scalar oracle — see the bench), and
+//! replays the recorded arrival trace at ~56 M queue ops/s vs the
+//! heap's ~45 M. Because the engine now *streams* its pre-seeded
 //! source changes instead of enqueueing them (see `d3t_sim::engine`),
 //! the pending set is only the in-flight arrivals — shallow enough that
-//! the heap fallback is competitive on the whole run (~9 M events/s:
-//! its `log n` is short and its array cache-resident), with the
-//! calendar a few percent ahead. The calendar's structural lead is in
+//! the heap fallback is competitive on the whole run (its `log n` is
+//! short and its array cache-resident), with the calendar a few percent
+//! ahead. The calendar's structural lead is in
 //! deep backlogs — the `event_queue` steady-state micro bench at
 //! 32 Ki–256 Ki pending (~2× and growing with depth), and congested
 //! simulation configurations whose CPU queues stack arrivals — and it

@@ -39,10 +39,59 @@
 //! scalar queue ops — the bit-identity property tests therefore
 //! cross-check both the kernel against the oracle and the bulk queue
 //! contract against scalar push/pop on every full run.
+//!
+//! # Performance model: the run-batched drain
+//!
+//! `drain` stages **reorder-free runs** instead of single events: every
+//! transmission scheduled by processing an event at `t` arrives at or
+//! after `t + comp_delay + min link delay`, so queued events inside
+//! that window are already in final order whatever the batch does. A
+//! run (capped at `SimConfig::batch_events`, default 128; any cap is
+//! bit-identical — property-tested — the cap only trades staging
+//! footprint against amortization) flows through five passes over a
+//! reusable `RunScratch`:
+//!
+//! 1. **Gather** — decode each event once into a flat [`RunTouch`] SoA
+//!    (node, item, value, original run index); dropped arrivals are
+//!    filtered here and remembered as observer-only slots.
+//! 2. **Group** — runs of ≥ 64 touches are sorted by `(item, idx)` so
+//!    the sweeps below become contiguous per-item passes; shorter runs
+//!    stay in pop order. (Paper-scale runs average ~33 events over ~100
+//!    items — ≈1.3 touches per touched item — so there the sort costs
+//!    ~10% of whole-run throughput and buys no locality. The staging
+//!    order is pipeline-invisible either way: `slot_of` and the
+//!    violation counting sort restore event order at scatter.)
+//! 3. **Decide** — one [`Disseminator::on_run_into`] sweep fills the
+//!    span-indexed [`RunDecisions`].
+//! 4. **Fidelity** — one [`FidelityTracker::on_run_sink`] sweep updates
+//!    violation intervals, staging each transition with the run index
+//!    it belongs to.
+//! 5. **Scatter** — one pass back in **original event order** replays
+//!    observer callbacks exactly as the scalar drain would (head
+//!    callback, then violation transitions, then per-recipient sends),
+//!    stages every transmission, and hands the whole group to one
+//!    [`EventQueue::push_batch`].
+//!
+//! Per-phase telemetry ([`PhaseStats`]) is always on because stamping
+//! is **per run, chained**: one TSC read closes a phase and opens the
+//! next, and the stamp that closes a drain iteration opens the next
+//! iteration's pop. (A TSC read costs ~tens of ns under some
+//! hypervisors — per-event stamping would dwarf the work measured.)
+//! Measured at paper scale on a 1-core container: ~140 ns/event
+//! end-to-end, split ~46 queue / ~41 process / ~31 fidelity /
+//! ~19 transmit.
+//!
+//! Two measured dead ends, recorded so they are not re-tried: issuing
+//! the whole run's row/pair prefetches up front at gather time (floods
+//! the line-fill buffers; the kernels' in-pass distance-4 streams win
+//! by ~8%), and sorting the staged sends by arrival time before the
+//! bulk push (pop-order invisible but ~15% slower — event-order send
+//! groups already mostly hit `push_batch`'s append path, and the sorted
+//! order degrades the calendar's adaptation signals).
 
 use std::collections::VecDeque;
 
-use d3t_core::dissemination::{Disseminator, ForwardScratch, Update};
+use d3t_core::dissemination::{Disseminator, ForwardScratch, RunDecisions, RunTouch, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
 use d3t_core::lela::DelayMicros;
 use d3t_core::overlay::{NodeIdx, SOURCE};
@@ -104,6 +153,150 @@ pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Obser
     /// window are already in final order whatever the batch does. `0`
     /// disables batching (zero-delay configurations).
     batch_window_us: u64,
+    /// Upper bound on the number of events staged per run — the
+    /// `SimConfig::batch_events` knob. Bit-identity holds for any cap
+    /// (property-tested across {1, 2, 7, 16, 64}); the cap only trades
+    /// staging-buffer footprint against batching amortization. `<= 1`
+    /// falls back to the pure scalar drain.
+    batch_events: usize,
+    /// Reusable staging area for one popped run (the run-level analogue
+    /// of `scratch`): SoA-gathered touches, the sorted-order permutation,
+    /// violation records and the staged send group. See
+    /// [`Session::process_run`] for the pass structure and the
+    /// `RunScratch` doc for the buffer contract.
+    run_scratch: RunScratch,
+    /// Reusable run-level forwarding-decision buffer
+    /// [`Disseminator::on_run_into`] fills.
+    decisions: RunDecisions,
+    /// Always-on per-phase cycle/op counters for the drain loop.
+    phases: PhaseStats,
+}
+
+/// Default run cap — also `SimConfig::batch_events`' default. Large
+/// enough that a paper-scale run amortizes its sort/stage overhead and
+/// spans several source ticks, small enough that the staging buffers
+/// stay a few KiB.
+pub(crate) const DEFAULT_BATCH_EVENTS: usize = 128;
+
+/// Minimum staged touches before the run is worth sorting into per-item
+/// groups. Below this, runs touch mostly distinct items (paper-scale
+/// runs average ~33 events over ~100 items, ≈1.3 touches per touched
+/// item), so grouping buys no locality and only pays the sort.
+const GROUP_MIN_TOUCHES: usize = 64;
+
+/// One violation-interval transition staged during a run's fidelity
+/// sweep: which event (original run position) it belongs to, and the
+/// `(repo, item, opened)` triple the observer callback needs.
+#[derive(Debug, Clone, Copy)]
+struct ViolRec {
+    ev: u32,
+    repo: u32,
+    item: d3t_core::item::ItemId,
+    opened: bool,
+}
+
+/// Reusable per-run staging buffers — the session-side `RunScratch`
+/// contract: every vector is cleared (never freed) per run, so once each
+/// has grown to the largest run seen the whole five-pass pipeline in
+/// [`Session::process_run`] performs zero heap allocations.
+#[derive(Debug, Default)]
+struct RunScratch {
+    /// Live touches of the run (dropped arrivals are filtered at
+    /// gather); sorted by `(item, idx)` after the gather pass.
+    touches: Vec<RunTouch>,
+    /// Original event position → position in the sorted `touches`
+    /// (`DROPPED` for arrivals the liveness gate swallowed).
+    slot_of: Vec<u32>,
+    /// Violation transitions as emitted by the item-grouped fidelity
+    /// sweep (grouped by staged touch, not by event).
+    viol: Vec<ViolRec>,
+    /// `viol` counting-sorted back to original event order.
+    viol_sorted: Vec<ViolRec>,
+    /// Per event: start offset of its transitions in `viol_sorted`
+    /// (length `n + 1`; exclusive prefix sums).
+    viol_start: Vec<u32>,
+    /// Scatter cursors for the counting sort (reused, not reallocated).
+    viol_cursor: Vec<u32>,
+    /// The run's deliverable sends, staged for one
+    /// [`EventQueue::push_batch`] after the scatter pass.
+    sends: Vec<(u64, EventKind)>,
+}
+
+/// `slot_of` sentinel: the event was a dropped arrival and staged no
+/// touch.
+const DROPPED: u32 = u32::MAX;
+
+/// One phase's always-on telemetry: TSC cycles spent and operations
+/// performed (events, touches, messages or queue ops — see
+/// [`PhaseStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounter {
+    /// TSC cycles attributed to the phase (0 off x86-64).
+    pub cycles: u64,
+    /// Operations the phase performed.
+    pub ops: u64,
+}
+
+/// Cheap always-on per-phase counters for the drain loop, kept separate
+/// from [`Metrics`] (which is compared bit-for-bit across drive modes —
+/// wall-clock telemetry must never participate in that identity).
+/// Attribution is contiguous: each drain iteration stamps the TSC at
+/// its pass boundaries, so the four phases partition (almost) all of
+/// the drain's cycles and per-phase wall time can be recovered by
+/// scaling each phase's cycle share against a measured wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Popping runs out of the queue/stream merge plus the per-run bulk
+    /// push (`ops` = events popped + sends pushed).
+    pub queue: PhaseCounter,
+    /// Gather/classify, item-grouping and the protocol decision sweeps
+    /// (`ops` = events). Scalar-path events (cap 1, lookahead drains,
+    /// window tails) land here whole — the TSC read is too expensive to
+    /// bracket individual scalar events, so their queue share is not
+    /// split out (`queue.ops` still counts them).
+    pub process: PhaseCounter,
+    /// The batched violation-transition sweeps and their re-ordering
+    /// (`ops` = staged touches).
+    pub fidelity: PhaseCounter,
+    /// The ordered result scatter: observer callbacks plus send
+    /// arithmetic and assembly (`ops` = messages sent).
+    pub transmit: PhaseCounter,
+    /// Batched runs staged (`process.ops / runs` is the mean run size;
+    /// scalar-path events never increment this).
+    pub runs: u64,
+}
+
+impl PhaseStats {
+    /// The phases in canonical order, with their names.
+    pub fn named(&self) -> [(&'static str, PhaseCounter); 4] {
+        [
+            ("queue", self.queue),
+            ("process", self.process),
+            ("fidelity", self.fidelity),
+            ("transmit", self.transmit),
+        ]
+    }
+
+    /// Total cycles attributed across all phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.named().iter().map(|(_, c)| c.cycles).sum()
+    }
+}
+
+/// The TSC, for relative per-phase attribution (never converted to time
+/// without an external wall-clock calibration). Always 0 off x86-64 —
+/// the phase counters then degrade to op counts.
+#[inline]
+fn cycles() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: RDTSC is unprivileged and side-effect-free.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
 }
 
 impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
@@ -134,7 +327,40 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             scratch: ForwardScratch::new(),
             send_buf: Vec::new(),
             run_buf: Vec::new(),
+            batch_events: DEFAULT_BATCH_EVENTS,
+            run_scratch: RunScratch::default(),
+            decisions: RunDecisions::new(),
+            phases: PhaseStats::default(),
         }
+    }
+
+    /// Caps how many events one batched run may stage (the
+    /// `SimConfig::batch_events` knob; clamped to at least 1, where the
+    /// drain degrades to the scalar path). Any cap is bit-identical —
+    /// batching never reorders observable work.
+    pub fn set_batch_events(&mut self, cap: usize) {
+        self.batch_events = cap.max(1);
+    }
+
+    /// The run cap currently in force.
+    pub fn batch_events(&self) -> usize {
+        self.batch_events
+    }
+
+    /// Per-phase drain telemetry accumulated so far (zeroes until a
+    /// drain has run; see [`PhaseStats`]).
+    pub fn phase_stats(&self) -> &PhaseStats {
+        &self.phases
+    }
+
+    /// Drains every remaining event through the batched hot loop
+    /// **without** consuming the session — what [`Session::finish`] runs
+    /// internally, exposed so callers can read [`Session::phase_stats`] /
+    /// [`Session::metrics`] after the run before producing the report.
+    /// Advances `now_us` to the horizon.
+    pub fn drain_to_end(&mut self) {
+        self.drain();
+        self.now_us = self.now_us.max(self.end_us);
     }
 
     /// Current simulation time, µs: the latest processed event time or
@@ -241,68 +467,338 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// Drains every remaining event — the hot loop behind
     /// [`Session::finish`] / [`Session::run_to_end`].
     ///
-    /// Events are popped in short **batched runs** straight out of the
-    /// queue ([`EventQueue::pop_run`]) inside the safety window
-    /// (`batch_window_us`): processing an event at `t` can only schedule
-    /// arrivals at or after `t + comp_delay + min link delay`, so a run
-    /// of events closer together than that is already in its final order
-    /// — nothing processing them can schedule may interleave. The bulk
-    /// pop takes the run in one cursor locate and bucket sweep instead
-    /// of a full pop per event, and knowing the next few events up front
-    /// lets the loop *prefetch* the scattered per-(node, item) state
-    /// they will touch, overlapping cache misses that a strict
-    /// pop-process-pop chain serializes. Processing order — and
-    /// therefore every observable — is exactly the one-at-a-time order;
-    /// the property tests pin it against the sealed reference engine.
+    /// Events are popped in **reorder-free runs** ([`Session::pop_run_mixed`])
+    /// inside the safety window (`batch_window_us`): processing an event
+    /// at `t` can only schedule arrivals at or after `t + comp_delay +
+    /// min link delay`, so a run of events closer together than that is
+    /// already in its final order — nothing processing them can schedule
+    /// may interleave. Pre-seeded source-stream events merge into the
+    /// same runs (they are known upfront, not generated by the run, so
+    /// the window argument covers them too). Each run then goes through
+    /// the staged pipeline of [`Session::process_run`]; every observable
+    /// — callbacks, metrics, event order — is exactly the one-at-a-time
+    /// order, property-tested against the sealed reference engine.
     fn drain(&mut self) {
-        const BATCH: usize = 32;
-        if self.batch_window_us == 0 {
-            while self.step().is_some() {}
+        // The TSC read is not free (~tens of ns under some hypervisors),
+        // so stamping is **per run, chained**: each iteration's closing
+        // stamp is the next one's opening stamp, and the scalar cap-1
+        // loop brackets the whole drain with two stamps instead of
+        // stamping per event (its cycles all land in `process`).
+        if self.batch_window_us == 0 || self.batch_events <= 1 {
+            // Zero-delay configs (no safety window) and cap 1 take the
+            // pure scalar path.
+            let t0 = cycles();
+            let mut events = 0u64;
+            while let Some((at_us, kind)) = self.next_event() {
+                self.process(at_us, kind, 0);
+                events += 1;
+            }
+            self.phases.process.cycles += cycles().wrapping_sub(t0);
+            self.phases.process.ops += events;
+            self.phases.queue.ops += events;
             return;
         }
         let mut buf = std::mem::take(&mut self.run_buf);
+        let mut t0 = cycles();
         loop {
             if !self.lookahead.is_empty() {
                 // A held-back event may interleave anywhere; take the
-                // scalar path until the lookahead drains.
+                // scalar path until the lookahead drains (whole
+                // iteration attributed to `process`).
                 match self.next_event() {
                     None => break,
-                    Some((at_us, kind)) => self.process(at_us, kind, 0),
+                    Some((at_us, kind)) => {
+                        self.process(at_us, kind, 0);
+                        let t1 = cycles();
+                        self.phases.process.cycles += t1.wrapping_sub(t0);
+                        self.phases.process.ops += 1;
+                        self.phases.queue.ops += 1;
+                        t0 = t1;
+                    }
                 }
                 continue;
             }
-            // Queue runs are capped at the source stream's head: the
-            // head outranks every equal-or-later arrival.
-            let cap_us =
-                self.source_stream.get(self.stream_cursor).map_or(u64::MAX, |&(at_us, _)| at_us);
             buf.clear();
-            let n = self.queue.pop_run(self.batch_window_us, cap_us, BATCH, &mut buf);
-            if n == 0 {
-                // Nothing below the stream head: defer to the scalar
-                // three-way merge for the tail (the stream head itself,
-                // a `u64::MAX` residue arrival, or done) — one source of
-                // truth for the tie precedence.
-                match self.next_event() {
-                    Some((at_us, kind)) => {
-                        self.process(at_us, kind, 0);
-                        continue;
+            let n = self.pop_run_mixed(&mut buf);
+            let t1 = cycles();
+            self.phases.queue.cycles += t1.wrapping_sub(t0);
+            self.phases.queue.ops += n as u64;
+            match n {
+                0 => {
+                    // Nothing poppable in bulk: defer to the scalar
+                    // three-way merge for the tail (a `u64::MAX` residue
+                    // arrival, or done) — one source of truth for the
+                    // tie precedence.
+                    match self.next_event() {
+                        Some((at_us, kind)) => {
+                            self.phases.queue.ops += 1;
+                            self.process(at_us, kind, 0);
+                            let t2 = cycles();
+                            self.phases.process.cycles += t2.wrapping_sub(t1);
+                            self.phases.process.ops += 1;
+                            t0 = t2;
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
-            }
-            for &(_, kind) in &buf[1..n] {
-                if let Some((node, item)) = kind.arrival_target() {
-                    self.disseminator.prefetch_row(node, item);
-                    self.fidelity.prefetch_pair(node, item);
+                1 => {
+                    // Singleton runs skip the staging overhead.
+                    let (at_us, kind) = buf[0];
+                    self.process(at_us, kind, 0);
+                    let t2 = cycles();
+                    self.phases.process.cycles += t2.wrapping_sub(t1);
+                    self.phases.process.ops += 1;
+                    t0 = t2;
                 }
-            }
-            for (i, &(at_us, kind)) in buf[..n].iter().enumerate() {
-                // Events the run still holds are pending from any
-                // observer's point of view.
-                self.process(at_us, kind, n - 1 - i);
+                _ => t0 = self.process_run(&buf[..n], t1),
             }
         }
         self.run_buf = buf;
+    }
+
+    /// Pops one reorder-free run of up to `batch_events` events into
+    /// `buf`, merging the queue and the pre-seeded source stream —
+    /// events land in exactly the order the scalar three-way merge
+    /// ([`Session::next_event`]) would produce them. Requires an empty
+    /// lookahead (the drain guarantees it). Returns the number popped;
+    /// `0` means only a `u64::MAX`-residue event (or nothing) remains.
+    ///
+    /// Two shapes:
+    /// * queue head strictly below the stream head → a pure queue run
+    ///   ([`EventQueue::pop_run`]) capped at the stream head, which
+    ///   outranks every equal-time arrival;
+    /// * stream head first → a stream-led mixed run: the window anchors
+    ///   at the stream head (the global minimum), and queue segments
+    ///   (`pop_run` with a saturating window pops everything strictly
+    ///   below a cap) alternate with greedy equal-time stream
+    ///   consumption until the window or the cap is exhausted. Stream
+    ///   events are pre-seeded — not generated by processing the run —
+    ///   so the safety-window argument covers them unchanged.
+    fn pop_run_mixed(&mut self, buf: &mut Vec<(u64, EventKind)>) -> usize {
+        let max = self.batch_events;
+        let head_at = self.source_stream.get(self.stream_cursor).map(|&(at_us, _)| at_us);
+        let cap0 = head_at.unwrap_or(u64::MAX);
+        let n = self.queue.pop_run(self.batch_window_us, cap0, max, buf);
+        if n > 0 {
+            return n;
+        }
+        // Queue has nothing strictly below the stream head, so the head
+        // (if any) is the global minimum and anchors the window.
+        let Some(first_at) = head_at else { return 0 };
+        let limit = first_at.saturating_add(self.batch_window_us);
+        let mut n = 0usize;
+        while n < max {
+            let s_at = self.source_stream.get(self.stream_cursor).map_or(u64::MAX, |&(a, _)| a);
+            let seg_cap = s_at.min(limit);
+            n += self.queue.pop_run(u64::MAX, seg_cap, max - n, buf);
+            if n >= max || s_at >= limit {
+                break;
+            }
+            // All stream events at exactly `s_at` precede every
+            // equal-time queue arrival; take them greedily.
+            while n < max {
+                match self.source_stream.get(self.stream_cursor) {
+                    Some(&ev) if ev.0 == s_at => {
+                        buf.push(ev);
+                        self.stream_cursor += 1;
+                        n += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        n
+    }
+
+    /// One popped run through the staged pipeline — bit-identical to
+    /// processing its events one at a time through [`Session::process`],
+    /// but organized as sequential sweeps instead of per-event scattered
+    /// touches:
+    ///
+    /// 1. **Gather** (original order): classify each event, count it,
+    ///    apply the liveness gate, and stage live events SoA-style as
+    ///    [`RunTouch`]es in the reusable [`RunScratch`].
+    /// 2. **Group**: sort the touches by `(item, idx)` — protocol and
+    ///    fidelity state are strictly per item, so same-item event order
+    ///    is all that must be preserved.
+    /// 3. **Decide**: one [`Disseminator::on_run_into`] call sweeps the
+    ///    CSR check table item-contiguously; then the decided targets'
+    ///    delay cells start prefetching.
+    /// 4. **Fidelity**: one [`FidelityTracker::on_run_sink`] call runs
+    ///    the violation transitions in the same item-grouped order
+    ///    (folding the source-tick slice scans into the sweep); the
+    ///    emitted transitions are counting-sorted back to event order.
+    /// 5. **Scatter** (original order): per event, replay the observer
+    ///    callbacks exactly as the scalar path would — head callback,
+    ///    violations, `on_send` per recipient, `on_event` — while
+    ///    performing the send arithmetic serially (`busy_until`,
+    ///    sequence stamps and tag interning are global state and stay in
+    ///    event order), staging deliverable sends for one final
+    ///    [`EventQueue::push_batch`].
+    ///
+    /// The `on_event` pending sample is reconstructed exactly: all of
+    /// the run was popped upfront, so the scalar-visible count is the
+    /// post-run backlog plus the events the run still holds plus the
+    /// sends this run has delivered so far.
+    fn process_run(&mut self, run: &[(u64, EventKind)], t_start: u64) -> u64 {
+        let n = run.len();
+        let mut st = std::mem::take(&mut self.run_scratch);
+        let mut dec = std::mem::take(&mut self.decisions);
+        st.touches.clear();
+        st.slot_of.clear();
+        st.slot_of.resize(n, DROPPED);
+        self.metrics.events += n as u64;
+        // Pass 1: gather.
+        for (i, &(at_us, kind)) in run.iter().enumerate() {
+            match kind.classify(&self.tags) {
+                Event::SourceChange { item, value } => {
+                    self.metrics.source_updates += 1;
+                    st.touches.push(RunTouch {
+                        idx: i as u32,
+                        node: SOURCE,
+                        item,
+                        at_us,
+                        value,
+                        tag: f64::NAN,
+                    });
+                }
+                Event::Arrival { node, update } => {
+                    if !self.disseminator.is_active(node) {
+                        self.metrics.dropped += 1;
+                    } else {
+                        st.touches.push(RunTouch {
+                            idx: i as u32,
+                            node,
+                            item: update.item,
+                            at_us,
+                            value: update.value,
+                            tag: update.tag.map_or(f64::NAN, |c| c.value()),
+                        });
+                    }
+                }
+            }
+        }
+        // Pass 2: group by item, stably (idx breaks ties). Grouping pays
+        // through pair/row locality once items repeat within the run;
+        // short runs touch mostly distinct items, so they stay in pop
+        // order (the staging order is pipeline-invisible — `slot_of` and
+        // the violation counting sort restore event order either way).
+        if st.touches.len() >= GROUP_MIN_TOUCHES {
+            st.touches.sort_unstable_by_key(RunTouch::group_key);
+        }
+        for (pos, t) in st.touches.iter().enumerate() {
+            st.slot_of[t.idx as usize] = pos as u32;
+        }
+        // Pass 3: protocol decisions in one item-contiguous sweep.
+        self.disseminator.on_run_into(&st.touches, &mut dec);
+        self.metrics.source_checks += dec.source_checks;
+        self.metrics.repo_checks += dec.repo_checks;
+        let t_decided = cycles();
+        // Pass 4: fidelity transitions in the same item-grouped order.
+        st.viol.clear();
+        {
+            let RunScratch { touches, viol, .. } = &mut st;
+            self.fidelity.on_run_sink(touches, &mut |ev, repo, item, opened| {
+                viol.push(ViolRec { ev, repo: repo as u32, item, opened });
+            });
+        }
+        // Counting sort back to event order (stable, so ascending-slot
+        // order within a source tick is preserved).
+        st.viol_start.clear();
+        st.viol_start.resize(n + 1, 0);
+        for v in &st.viol {
+            st.viol_start[v.ev as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            st.viol_start[i] += st.viol_start[i - 1];
+        }
+        st.viol_cursor.clear();
+        st.viol_cursor.extend_from_slice(&st.viol_start[..n]);
+        st.viol_sorted.clear();
+        st.viol_sorted.resize(
+            st.viol.len(),
+            ViolRec { ev: 0, repo: 0, item: d3t_core::item::ItemId(0), opened: false },
+        );
+        for &v in &st.viol {
+            let p = st.viol_cursor[v.ev as usize] as usize;
+            st.viol_cursor[v.ev as usize] += 1;
+            st.viol_sorted[p] = v;
+        }
+        let t_fid = cycles();
+        // Pass 5: ordered scatter.
+        st.sends.clear();
+        let base_pending = self.pending();
+        for (i, &(at_us, kind)) in run.iter().enumerate() {
+            self.now_us = at_us;
+            let pos = st.slot_of[i];
+            if pos == DROPPED {
+                let Event::Arrival { node, update } = kind.classify(&self.tags) else {
+                    unreachable!("only arrivals can be dropped")
+                };
+                self.observer.on_dropped(at_us, node, &update);
+            } else {
+                let t = st.touches[pos as usize];
+                if t.node.is_source() {
+                    self.observer.on_source_change(at_us, t.item, t.value);
+                } else {
+                    self.observer.on_delivery(at_us, t.node, &t.update());
+                }
+            }
+            for v in &st.viol_sorted[st.viol_start[i] as usize..st.viol_start[i + 1] as usize] {
+                if v.opened {
+                    self.observer.on_violation_open(at_us, v.repo as usize, v.item);
+                } else {
+                    self.observer.on_violation_close(at_us, v.repo as usize, v.item);
+                }
+            }
+            if pos != DROPPED {
+                let p = pos as usize;
+                let to = dec.to_of(p);
+                if !to.is_empty() {
+                    let t = st.touches[p];
+                    let update = dec.update_of(p);
+                    let relayed = if t.node.is_source() { None } else { Some(kind) };
+                    let template = EventKind::arrival_template(update, relayed, &mut self.tags);
+                    let delay_row = self.delays_us.row(t.node);
+                    let mut cpu = self.busy_until_us[t.node.index()].max(at_us);
+                    for &child in to {
+                        cpu += self.comp_delay_us;
+                        self.metrics.messages += 1;
+                        let arrival_us = cpu + u64::from(delay_row[child.index()]);
+                        self.observer.on_send(at_us, t.node, child, &update, arrival_us);
+                        if arrival_us > self.end_us {
+                            self.metrics.undelivered += 1;
+                            continue;
+                        }
+                        st.sends.push((arrival_us, template.at_node(child)));
+                    }
+                    self.busy_until_us[t.node.index()] = cpu;
+                }
+            }
+            self.observer.on_event(at_us, base_pending + (n - 1 - i) + st.sends.len());
+        }
+        let t_scattered = cycles();
+        // (Measured dead end: stable-sorting the staged sends by arrival
+        // time before the bulk push — pop-order invisible, and it should
+        // maximize push_batch's append fast path — costs ~15% whole-run
+        // throughput here. The event-order batch already appends ~60% of
+        // the time, and the sorted order degrades the calendar's
+        // adaptation signals.)
+        self.queue.push_batch(self.next_seq, &st.sends);
+        self.next_seq += st.sends.len() as u64;
+        let t_end = cycles();
+        self.phases.process.cycles += t_decided.wrapping_sub(t_start);
+        self.phases.process.ops += n as u64;
+        self.phases.fidelity.cycles += t_fid.wrapping_sub(t_decided);
+        self.phases.fidelity.ops += st.touches.len() as u64;
+        self.phases.transmit.cycles += t_scattered.wrapping_sub(t_fid);
+        self.phases.transmit.ops += st.sends.len() as u64;
+        self.phases.queue.cycles += t_end.wrapping_sub(t_scattered);
+        self.phases.queue.ops += st.sends.len() as u64;
+        self.phases.runs += 1;
+        self.run_scratch = st;
+        self.decisions = dec;
+        t_end
     }
 
     /// Applies a [`Dynamic`] at the session's current time. Violation

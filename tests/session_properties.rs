@@ -169,3 +169,131 @@ fn dynamics_runs_stay_backend_invariant() {
 fn first_measured_item(p: &Prepared, repo: usize) -> d3t::core::item::ItemId {
     p.workload.items_of(repo).next().expect("repo measures something").0
 }
+
+#[test]
+fn batch_caps_are_bit_identical_across_protocols_and_backends() {
+    // The drain cap (`SimConfig::batch_events`) only trades staging
+    // footprint against batching amortization — any cap must reproduce
+    // the sealed engine bit-for-bit. Cap 1 is the pure scalar drain,
+    // 2 the smallest real batches, 7/16 odd and mid widths, 64 wider
+    // than most windows this horizon produces (so runs stay
+    // window-limited, the production regime).
+    fn run_with_cap<Q: EventQueue<EventKind>>(
+        p: &Prepared,
+        cap: usize,
+    ) -> (FidelityReport, Metrics) {
+        let mut s = p.session_with::<Q, _>(NoopObserver);
+        s.set_batch_events(cap);
+        s.run_to_end()
+    }
+    for protocol in
+        [Protocol::Distributed, Protocol::Centralized, Protocol::Naive, Protocol::FloodAll]
+    {
+        let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+        cfg.protocol = protocol;
+        let p = Prepared::build(&cfg);
+        let sealed = p.engine::<CalendarQueue<EventKind>>().run();
+        for cap in [1usize, 2, 7, 16, 64] {
+            assert_eq!(
+                run_with_cap::<CalendarQueue<EventKind>>(&p, cap),
+                sealed,
+                "{protocol:?}/calendar/cap {cap}"
+            );
+            assert_eq!(
+                run_with_cap::<HeapQueue<EventKind>>(&p, cap),
+                sealed,
+                "{protocol:?}/heap/cap {cap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_drain_preserves_the_scalar_observer_stream() {
+    // Batching stages protocol and fidelity work out of event order but
+    // must scatter every observation back in original order: the full
+    // `TraceEvent` stream of a default-cap batched run is asserted equal
+    // to the cap-1 scalar drain's, element by element — not just the
+    // end-of-run aggregates.
+    for protocol in
+        [Protocol::Distributed, Protocol::Centralized, Protocol::Naive, Protocol::FloodAll]
+    {
+        let mut cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+        cfg.protocol = protocol;
+        let p = Prepared::build(&cfg);
+        let run = |cap: usize| {
+            let mut s =
+                p.session_with::<CalendarQueue<EventKind>, _>(EventTrace::with_capacity(1 << 17));
+            s.set_batch_events(cap);
+            s.finish()
+        };
+        let (rep_batched, met_batched, trace_batched) = run(cfg.batch_events);
+        let (rep_scalar, met_scalar, trace_scalar) = run(1);
+        assert_eq!((rep_batched, met_batched), (rep_scalar, met_scalar), "{protocol:?}: results");
+        assert_eq!(
+            trace_batched.events().len(),
+            trace_scalar.events().len(),
+            "{protocol:?}: trace length"
+        );
+        for (i, (b, s)) in trace_batched.events().iter().zip(trace_scalar.events()).enumerate() {
+            assert_eq!(b, s, "{protocol:?}: trace diverged at event {i}");
+        }
+    }
+}
+
+#[test]
+fn dynamics_at_run_boundaries_match_the_scalar_drain() {
+    use d3t::sim::Dynamic;
+    // Injections interrupt the drain mid-window (`run_until` truncates
+    // the batch at the target), so fire them both exactly on decile
+    // boundaries and at ragged +137 µs offsets; every cap × backend
+    // combination must stay in bit-agreement with the cap-1 scalar
+    // drain.
+    fn run_churned<Q: EventQueue<EventKind>>(
+        p: &Prepared,
+        schedule: &[(u64, Dynamic)],
+        cap: usize,
+    ) -> (FidelityReport, Metrics) {
+        let mut s = p.session_with::<Q, _>(NoopObserver);
+        s.set_batch_events(cap);
+        for &(t, d) in schedule {
+            s.run_until(t);
+            s.inject(d).unwrap();
+        }
+        s.run_to_end()
+    }
+    let cfg = SimConfig::small_for_tests(10, 5, 400, 50.0);
+    let p = Prepared::build(&cfg);
+    let end = p.end_us;
+    let schedule = [
+        (end * 3 / 10, Dynamic::FailRepo { repo: 2 }),
+        (
+            end * 3 / 10 + 137,
+            Dynamic::HotSwapItem { item: first_measured_item(&p, 2), value: 1.0e6 },
+        ),
+        (
+            end * 5 / 10,
+            Dynamic::SetTolerance {
+                repo: 0,
+                item: first_measured_item(&p, 0),
+                c: d3t::core::coherency::Coherency::new(0.005),
+            },
+        ),
+        (end * 6 / 10 + 137, Dynamic::RecoverRepo { repo: 2 }),
+    ];
+    let reference = run_churned::<CalendarQueue<EventKind>>(&p, &schedule, 1);
+    assert_eq!(reference.1.injected, 4);
+    assert!(reference.1.dropped > 0, "the failed relay must have dropped arrivals");
+    for cap in [2usize, 16, 64, 128] {
+        assert_eq!(
+            run_churned::<CalendarQueue<EventKind>>(&p, &schedule, cap),
+            reference,
+            "calendar/cap {cap}"
+        );
+        assert_eq!(
+            run_churned::<HeapQueue<EventKind>>(&p, &schedule, cap),
+            reference,
+            "heap/cap {cap}"
+        );
+    }
+}
