@@ -84,7 +84,7 @@ pub mod naive;
 
 use serde::{Deserialize, Serialize};
 
-use crate::coherency::Coherency;
+use crate::coherency::{Coherency, VALUE_EPSILON};
 use crate::graph::D3g;
 use crate::item::ItemId;
 use crate::overlay::{NodeIdx, SOURCE};
@@ -272,6 +272,31 @@ pub struct Disseminator {
     /// Fail-stop state per node: an inactive repository neither records
     /// nor forwards updates (see [`Disseminator::set_node_active`]).
     active: Vec<bool>,
+    /// Live re-parenting registry (see [`Disseminator::reparent`]):
+    /// children currently served by a foster parent because their
+    /// original parent crashed. Empty in every fault-free run — all
+    /// adopted-edge work in the decision paths is gated on this, so the
+    /// hot path pays one predictable `is_empty` branch and nothing else.
+    adoptions: Vec<Adoption>,
+}
+
+/// One re-parented child: the CSR edge slot stays physically inside the
+/// original parent's row (rows are contiguous spans, so the slot cannot
+/// move), but the child is *logically* served by `foster` until
+/// [`Disseminator::restore_children_of`] hands it back. Keeping the slot
+/// in place means `record_at`'s per-edge mirror and `renegotiate`'s O(1)
+/// `parent_edge` patch keep writing the same memory whether or not the
+/// child is adopted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Adoption {
+    /// Item of the re-parented subscription.
+    item: u32,
+    /// The re-parented child node.
+    child: u32,
+    /// The surviving ancestor currently serving the child.
+    foster: u32,
+    /// The crashed original parent (restore target on recovery).
+    original: u32,
 }
 
 /// Hot per-row record: the node's current copy of the row's item, CSR
@@ -378,6 +403,7 @@ impl Disseminator {
             child_edges,
             parent,
             active: vec![true; n_nodes],
+            adoptions: Vec::new(),
         }
     }
 
@@ -451,6 +477,55 @@ impl Disseminator {
         Coherency::new(self.rows[item.index() * self.n_nodes + node.index()].eff)
     }
 
+    /// Appends `node`'s *adopted* dependents for `update` to `out_to`,
+    /// returning the filter evaluations performed — the scalar tail every
+    /// decision path (kernel and oracle alike) runs after its CSR-row
+    /// scan. Adopted edges are scattered through other rows, so they are
+    /// filtered one by one with exactly the kernel's predicates (same
+    /// bias, same epsilon) and count one check per candidate, keeping the
+    /// Figure-11 accounting invariant. Gated on the registry being empty:
+    /// fault-free runs take one branch here and nothing else.
+    #[inline]
+    fn adopted_into(&self, node: NodeIdx, update: Update, out_to: &mut Vec<NodeIdx>) -> u64 {
+        if self.adoptions.is_empty() {
+            return 0;
+        }
+        self.scan_adopted(node, update, out_to)
+    }
+
+    /// The out-of-line body of [`Disseminator::adopted_into`] — only runs
+    /// while at least one child is re-parented somewhere in the overlay.
+    fn scan_adopted(&self, node: NodeIdx, update: Update, out_to: &mut Vec<NodeIdx>) -> u64 {
+        // A quiet centralized source tick never enters the tree: the
+        // kernel path skips its row scan in that case, so adopted edges
+        // are skipped (and not counted) too.
+        if self.protocol == Protocol::Centralized && update.tag.is_none() {
+            return 0;
+        }
+        let base = update.item.index() * self.n_nodes;
+        let mut checks = 0u64;
+        for a in &self.adoptions {
+            if a.foster != node.0 || a.item != update.item.0 {
+                continue;
+            }
+            let e = self.child_edges[self.rows[base + a.child as usize].parent_edge as usize];
+            checks += 1;
+            let keep = match self.protocol {
+                Protocol::Centralized => e.c <= update.tag.expect("tag checked above").value(),
+                Protocol::Naive => (update.value - e.last).abs() > e.c + VALUE_EPSILON,
+                Protocol::Distributed => {
+                    let bias = self.rows[base + node.index()].eff;
+                    (update.value - e.last).abs() > e.c - bias + VALUE_EPSILON
+                }
+                Protocol::FloodAll => true,
+            };
+            if keep {
+                out_to.push(NodeIdx(a.child));
+            }
+        }
+        checks
+    }
+
     /// Handles a raw source tick: decides which of the source's dependents
     /// receive the update, filling the caller-owned `out` scratch. Works
     /// entirely off the CSR snapshot compiled in [`Disseminator::new`] —
@@ -488,6 +563,8 @@ impl Disseminator {
                 out.checks = kernel::flood(&self.child_edges[r], &mut out.to);
             }
         }
+        let u = out.update;
+        out.checks += self.adopted_into(SOURCE, u, &mut out.to);
     }
 
     /// Handles an update arriving at repository `node`: records the new
@@ -524,6 +601,7 @@ impl Disseminator {
             }
             Protocol::FloodAll => kernel::flood(&self.child_edges[r], &mut out.to),
         };
+        out.checks += self.adopted_into(node, update, &mut out.to);
     }
 
     /// Decides a whole reorder-free run of staged touches in one call —
@@ -607,6 +685,8 @@ impl Disseminator {
                         out.updates.push(Update { item: t.item, value: t.value, tag: None });
                     }
                 }
+                let u = *out.updates.last().expect("source arm pushed its update");
+                out.source_checks += self.adopted_into(SOURCE, u, &mut out.to);
             } else {
                 // Mirror of `on_repo_update_into` minus the liveness
                 // branch (filtered at gather, see above).
@@ -631,6 +711,7 @@ impl Disseminator {
                     }
                     Protocol::FloodAll => kernel::flood(&self.child_edges[r], &mut out.to),
                 };
+                out.repo_checks += self.adopted_into(t.node, t.update(), &mut out.to);
                 out.updates.push(t.update());
             }
         }
@@ -644,7 +725,7 @@ impl Disseminator {
     /// it reads the receiver-indexed array, so the tests also pin the
     /// per-edge `child_last` mirror.
     pub fn on_source_update(&mut self, item: ItemId, value: f64) -> Forwarding {
-        match self.protocol {
+        let mut fwd = match self.protocol {
             Protocol::Centralized => self.centralized_source(item, value),
             Protocol::Naive | Protocol::Distributed => {
                 self.record(item, SOURCE, value);
@@ -654,7 +735,9 @@ impl Disseminator {
                 self.record(item, SOURCE, value);
                 self.flood(SOURCE, Update { item, value, tag: None })
             }
-        }
+        };
+        fwd.checks += self.adopted_into(SOURCE, fwd.update, &mut fwd.to);
+        fwd
     }
 
     /// Scalar-oracle counterpart of [`Disseminator::on_repo_update_into`]
@@ -669,11 +752,13 @@ impl Disseminator {
             return Forwarding { to: Vec::new(), update, checks: 0 };
         }
         self.record(update.item, node, update.value);
-        match self.protocol {
+        let mut fwd = match self.protocol {
             Protocol::Centralized => centralized::forward(self, node, update),
             Protocol::Naive | Protocol::Distributed => self.per_child_filter(node, update),
             Protocol::FloodAll => self.flood(node, update),
-        }
+        };
+        fwd.checks += self.adopted_into(node, fwd.update, &mut fwd.to);
+        fwd
     }
 
     /// The last value `node` received for `item` (its current copy).
@@ -887,6 +972,143 @@ impl Disseminator {
             self.rebuild_source_list(item);
         }
         new_eff
+    }
+
+    /// The dissemination parent `node` currently receives `item` from
+    /// (`None` for the source and for nodes not holding the item).
+    /// Reflects live re-parenting: an adopted child reports its foster
+    /// parent until restored.
+    #[inline]
+    pub fn parent_of(&self, node: NodeIdx, item: ItemId) -> Option<NodeIdx> {
+        match self.parent[item.index() * self.n_nodes + node.index()] {
+            NO_PARENT => None,
+            p => Some(NodeIdx(p)),
+        }
+    }
+
+    /// Every `(item, child)` subscription `node` currently serves: its own
+    /// CSR-row dependents that have not been adopted away, then children
+    /// it has adopted, in registry order — the deterministic enumeration
+    /// the repair layer walks when `node` crashes.
+    pub fn dependents_of(&self, node: NodeIdx) -> Vec<(ItemId, NodeIdx)> {
+        let mut deps = Vec::new();
+        for i in 0..self.n_items {
+            let item = ItemId(i as u32);
+            let base = i * self.n_nodes;
+            for e in self.row_range(node, item) {
+                let child = self.child_edges[e].node;
+                if self.parent[base + child as usize] == node.0 {
+                    deps.push((item, NodeIdx(child)));
+                }
+            }
+        }
+        for a in &self.adoptions {
+            if a.foster == node.0 {
+                deps.push((ItemId(a.item), NodeIdx(a.child)));
+            }
+        }
+        deps
+    }
+
+    /// Re-parents `child`'s subscription to `item` onto the surviving
+    /// ancestor `foster` — the overlay self-healing mutation entry point.
+    ///
+    /// The child's CSR edge slot cannot move (rows are contiguous spans),
+    /// so it stays physically inside the original parent's row and is
+    /// *adopted*: the decision paths serve it from `foster`'s scans via
+    /// the adoption registry, `parent` is rewritten so renegotiation and
+    /// repair walk the live chain, and `parent_edge` is untouched so the
+    /// per-edge `last_sent` mirror keeps working unchanged. Eq. (1) is
+    /// preserved by tightening `foster`'s ancestor chain to the child's
+    /// edge tolerance where needed (ancestors are never relaxed —
+    /// conservatively tight, exactly like [`Disseminator::renegotiate`]).
+    /// A child whose foster crashes too can be re-adopted: the original
+    /// parent recorded by the first adoption is kept, so recovery of that
+    /// original restores the pristine topology.
+    ///
+    /// # Panics
+    /// Panics if `child` does not hold `item`, if `foster == child`, or
+    /// if `child` has no parent to be re-parented from.
+    pub fn reparent(&mut self, child: NodeIdx, item: ItemId, foster: NodeIdx) {
+        assert!(child != foster, "a node cannot adopt itself");
+        let base = item.index() * self.n_nodes;
+        let old = self.parent[base + child.index()];
+        assert!(old != NO_PARENT, "{child} does not hold {item:?}; nothing to re-parent");
+        assert!(
+            !self.active[old as usize],
+            "re-parenting is only defined away from a crashed parent: the child's edge \
+             slot stays physically in the old parent's row, so a live old parent would \
+             still scan it and double-serve the child"
+        );
+        debug_assert!(
+            foster.is_source() || self.parent[base + foster.index()] != NO_PARENT,
+            "the foster parent must hold the item it adopts a dependent for"
+        );
+        if old == foster.0 {
+            return;
+        }
+        match self.adoptions.iter_mut().find(|a| a.item == item.0 && a.child == child.0) {
+            Some(a) => a.foster = foster.0,
+            None => self.adoptions.push(Adoption {
+                item: item.0,
+                child: child.0,
+                foster: foster.0,
+                original: old,
+            }),
+        }
+        self.parent[base + child.index()] = foster.0;
+        // Eq. (1): the foster chain must serve the child at least as
+        // stringently as the edge demands. Same upward walk as
+        // `renegotiate`, starting at the foster.
+        let edge = self.rows[base + child.index()].parent_edge as usize;
+        let c = Coherency::new(self.child_edges[edge].c);
+        let mut node = foster;
+        let mut tightened = false;
+        while !node.is_source() {
+            let r = base + node.index();
+            if c.value() >= self.rows[r].eff {
+                break;
+            }
+            self.rows[r].eff = c.value();
+            tightened = true;
+            let pe = self.rows[r].parent_edge;
+            if pe != NO_EDGE {
+                self.child_edges[pe as usize].c = c.value();
+            }
+            match self.parent[r] {
+                NO_PARENT => break,
+                p => node = NodeIdx(p),
+            }
+        }
+        if tightened && self.protocol == Protocol::Centralized {
+            self.rebuild_source_list(item);
+        }
+    }
+
+    /// Hands every child adopted away from `node` back to it (recovery
+    /// re-attaches the original edges), returning how many subscriptions
+    /// were restored. Effective coherencies tightened during adoption are
+    /// left in place — conservatively tight, never missing an update —
+    /// matching the renegotiation loosening rule.
+    pub fn restore_children_of(&mut self, node: NodeIdx) -> usize {
+        let mut restored = 0;
+        let mut k = 0;
+        while k < self.adoptions.len() {
+            let a = self.adoptions[k];
+            if a.original == node.0 {
+                self.parent[a.item as usize * self.n_nodes + a.child as usize] = node.0;
+                self.adoptions.swap_remove(k);
+                restored += 1;
+            } else {
+                k += 1;
+            }
+        }
+        restored
+    }
+
+    /// Number of currently re-parented subscriptions.
+    pub fn adoption_count(&self) -> usize {
+        self.adoptions.len()
     }
 
     /// Recomputes the centralized source's unique-tolerance list for
@@ -1212,6 +1434,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reparent_serves_child_from_surviving_ancestor_and_restores() {
+        // S → P (0.3) → Q (0.5): P crashes, Q is adopted by S.
+        let (g, p, q) = figure4_graph();
+        let mut d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        d.set_node_active(p, false);
+        d.reparent(q, ItemId(0), SOURCE);
+        assert_eq!(d.adoption_count(), 1);
+        assert_eq!(d.parent_of(q, ItemId(0)), Some(SOURCE));
+        // The source now checks its own row (P) plus the adopted edge (Q).
+        let f = d.on_source_update(ItemId(0), 2.0);
+        assert_eq!(f.checks, 2, "one check per candidate incl. the adopted edge");
+        assert!(f.to.contains(&q), "|2.0 − 1.0| > 0.5 must reach the adopted child");
+        let f_q = d.on_repo_update(q, f.update);
+        assert!(f_q.to.is_empty());
+        assert_eq!(d.value_at(q, ItemId(0)), 2.0, "adopted delivery records normally");
+        // The crashed parent's own enumeration no longer claims Q...
+        assert!(d.dependents_of(p).is_empty());
+        // ...the foster's does.
+        assert_eq!(d.dependents_of(SOURCE), vec![(ItemId(0), p), (ItemId(0), q)]);
+        // Recovery re-attaches the original edge exactly.
+        assert_eq!(d.restore_children_of(p), 1);
+        d.set_node_active(p, true);
+        assert_eq!(d.adoption_count(), 0);
+        assert_eq!(d.parent_of(q, ItemId(0)), Some(p));
+        let f = d.on_source_update(ItemId(0), 4.0);
+        assert_eq!(f.to, vec![p], "post-restore the source serves only its own row");
+        let f = d.on_repo_update(p, f.update);
+        assert_eq!(f.to, vec![q], "P relays to Q again, mirror state intact");
+    }
+
+    #[test]
+    fn reparent_kernel_path_matches_scalar_oracle() {
+        let (g, p, q) = figure4_graph();
+        let mut oracle = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let mut kern = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        for d in [&mut oracle, &mut kern] {
+            d.set_node_active(p, false);
+            d.reparent(q, ItemId(0), SOURCE);
+        }
+        let mut scratch = ForwardScratch::new();
+        for v in [1.2, 1.4, 1.7, 2.6, 2.61] {
+            let f = oracle.on_source_update(ItemId(0), v);
+            kern.on_source_update_into(ItemId(0), v, &mut scratch);
+            assert_eq!(scratch.to(), &f.to[..], "adopted targets must match at {v}");
+            assert_eq!(scratch.checks(), f.checks, "adopted checks must match at {v}");
+            for &n in &f.to {
+                if oracle.is_active(n) || n == q {
+                    let fr = oracle.on_repo_update(n, f.update);
+                    kern.on_repo_update_into(n, f.update, &mut scratch);
+                    assert_eq!(scratch.to(), &fr.to[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reparent_tightens_a_looser_foster_chain() {
+        // S → A (0.4), S → P (0.3), P → C (0.35), centralized. P crashes
+        // and C is adopted by the *sibling* A: Eq. (1) forces A's chain
+        // down to 0.35, patches A's source edge, and rebuilds the
+        // tolerance classes.
+        let mut g = D3g::new(3, 1);
+        let (a, p, ch) = (NodeIdx::repo(0), NodeIdx::repo(1), NodeIdx::repo(2));
+        g.add_edge(SOURCE, a, ItemId(0), c(0.4));
+        g.add_edge(SOURCE, p, ItemId(0), c(0.3));
+        g.add_edge(p, ch, ItemId(0), c(0.35));
+        let mut d = Disseminator::new(Protocol::Centralized, &g, &[1.0]);
+        d.set_node_active(p, false);
+        d.reparent(ch, ItemId(0), a);
+        assert_eq!(d.eff_of(a, ItemId(0)), c(0.35), "foster tightened to the adopted edge");
+        assert_eq!(d.children_of_compiled(SOURCE, ItemId(0))[0].1, c(0.35), "source row patched");
+        let f = d.on_source_update(ItemId(0), 1.38);
+        assert_eq!(f.update.tag, Some(c(0.35)), "0.38 drift violates the 0.35 class");
+        assert_eq!(f.to, vec![a, p], "the dead sibling's slot is still addressed (oblivious)");
+        let f = d.on_repo_update(a, f.update);
+        assert_eq!(f.to, vec![ch], "A relays to its adopted child");
+        let _ = d.on_repo_update(ch, f.update);
+        assert_eq!(d.value_at(ch, ItemId(0)), 1.38);
     }
 
     /// The Figure-11 comparability invariant: every forwarding decision

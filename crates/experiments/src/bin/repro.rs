@@ -11,6 +11,7 @@
 //! repro filter                    # timed run per protocol, FILTER lines
 //! repro queue-json                # per-backend queue perf as one JSON doc
 //! repro phases                    # per-phase drain telemetry, PHASE lines + JSON
+//! repro resilience                # fault sweep, RESILIENCE lines + JSON
 //! repro list                      # enumerate experiment ids
 //! ```
 //!
@@ -28,6 +29,15 @@
 //!
 //! ```text
 //! FILTER protocol=distributed checks=1796242 checks_per_sec=10683185
+//! ```
+//!
+//! `resilience` runs the robustness sweep (crash-burst size × loss rate ×
+//! repair policy over identical prepared inputs) and prints one
+//! machine-readable line per faulted cell plus a JSON document `ci.sh`
+//! lands in `BENCH_resilience.json`:
+//!
+//! ```text
+//! RESILIENCE burst=4 loss_rate=0.10 policy=reparent loss_pct=… mttr_ms=… retransmits=… reparented=… lost=…
 //! ```
 //!
 //! `phases` runs one batched-drain cell and splits its wall clock across
@@ -49,7 +59,7 @@ use std::time::Instant;
 
 use d3t_experiments::{
     ablations, baseline, controlled, dynamics, filtering, lela_params, nocoop, protocols, pullpush,
-    scalability, sweep, table1, Scale,
+    resilience, scalability, sweep, table1, Scale,
 };
 use d3t_sim::QueueBackend;
 
@@ -240,6 +250,51 @@ fn phases(scale: &Scale) {
     println!("}}");
 }
 
+/// The robustness sweep — crash-burst size × loss rate × repair policy
+/// over identical prepared inputs — emitting **both** tracked formats
+/// from the same runs: one greppable `RESILIENCE` line per faulted cell
+/// (overall and post-burst survivor fidelity, MTTR, loss/retransmit/
+/// re-parent counters) and one JSON document `ci.sh` lands in
+/// `BENCH_resilience.json`. Serde is still a no-op shim in this build
+/// environment, so the document is rendered by hand; the shape is stable
+/// and additive.
+fn resilience_json(scale: &Scale) {
+    let report = resilience::resilience_report(scale);
+    for cell in &report.cells {
+        println!("{}", cell.machine_line());
+    }
+    println!("{{");
+    println!(
+        "  \"scale\": {{\"repos\": {}, \"items\": {}, \"ticks\": {}, \"seed\": {}}},",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    println!("  \"cells\": [");
+    for (i, c) in report.cells.iter().enumerate() {
+        let comma = if i + 1 < report.cells.len() { "," } else { "" };
+        println!(
+            "    {{\"burst\": {}, \"loss_rate\": {:.2}, \"policy\": \"{}\", \
+             \"loss_pct\": {:.4}, \"post_loss_pct\": {:.4}, \
+             \"baseline_post_loss_pct\": {:.4}, \"post_gap_pct\": {:.4}, \
+             \"mttr_ms\": {:.1}, \"fault_window_loss_pct\": {:.4}, \
+             \"lost\": {}, \"retransmits\": {}, \"reparented\": {}}}{comma}",
+            c.burst,
+            c.loss_rate,
+            resilience::policy_name(c.policy),
+            c.loss_pct,
+            c.post_loss_pct,
+            c.baseline_post_loss_pct,
+            c.post_gap_pct(),
+            c.mttr_ms,
+            c.fault_window_loss_pct,
+            c.lost,
+            c.retransmits,
+            c.reparented,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
 /// One timed base-config run per protocol; the `FILTER` lines CI greps
 /// for check-path throughput tracking (the fig8 flood baseline and the
 /// fig11 centralized/distributed comparison at matched workloads).
@@ -274,6 +329,7 @@ fn main() {
     let mut run_filter = false;
     let mut run_queue_json = false;
     let mut run_phases = false;
+    let mut run_resilience = false;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -294,6 +350,7 @@ fn main() {
             "filter" => run_filter = true,
             "queue-json" => run_queue_json = true,
             "phases" => run_phases = true,
+            "resilience" => run_resilience = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -329,11 +386,11 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke || run_filter || run_queue_json || run_phases {
+    if run_smoke || run_filter || run_queue_json || run_phases || run_resilience {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke`/`filter`/`queue-json`/`phases` run timed cells and cannot be combined \
-                 with experiment ids"
+                "`smoke`/`filter`/`queue-json`/`phases`/`resilience` run timed cells and cannot \
+                 be combined with experiment ids"
             );
             std::process::exit(2);
         }
@@ -348,6 +405,9 @@ fn main() {
         }
         if run_phases {
             phases(&scale);
+        }
+        if run_resilience {
+            resilience_json(&scale);
         }
         return;
     }

@@ -28,6 +28,7 @@
 //! | §5 claim | [`ablations::join_order_study`] | stringent-first placement |
 //! | §8 extension | [`pullpush::pull_vs_push`] | push vs (adaptive) pull vs push-pull |
 //! | extension | [`dynamics::dynamics`] | fidelity through a mid-run failure burst |
+//! | extension | [`resilience::resilience`] | self-healing re-parenting vs passive fail-stop |
 //!
 //! Independent experiment cells fan out over the parallel [`sweep`]
 //! runner; results are byte-identical to serial execution regardless of
@@ -44,6 +45,7 @@ pub mod lela_params;
 pub mod nocoop;
 pub mod protocols;
 pub mod pullpush;
+pub mod resilience;
 pub mod scalability;
 pub mod scale;
 pub mod sweep;

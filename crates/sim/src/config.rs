@@ -70,6 +70,12 @@ pub struct SimConfig {
     /// cap-independent — batching never reorders observable work; this
     /// only trades staging-buffer footprint against amortization.
     pub batch_events: usize,
+    /// Declarative failure scenario installed into every session built
+    /// from this configuration. The default plan is inert — it draws
+    /// nothing and changes nothing, keeping runs bit-identical to the
+    /// fault-free reference engine. Carries its own seed so the same
+    /// scenario can replay over different workloads and vice versa.
+    pub fault: crate::fault::FaultPlan,
     /// Master seed; all substreams derive from it.
     pub seed: u64,
 }
@@ -95,6 +101,7 @@ impl Default for SimConfig {
             ensemble: EnsembleConfig::default(),
             queue: QueueBackend::default(),
             batch_events: crate::session::DEFAULT_BATCH_EVENTS,
+            fault: crate::fault::FaultPlan::default(),
             seed: 0x5EED,
         }
     }

@@ -65,6 +65,51 @@
 //! is re-evaluated at exactly the mutation instant. See the `dynamics`
 //! experiment and `examples/failover.rs` for the end-to-end picture.
 //!
+//! # Failure model
+//!
+//! A [`FaultPlan`] is a declarative, seeded failure scenario — pure data,
+//! carried by [`SimConfig::fault`] or installed with
+//! `Session::install_fault_plan`:
+//!
+//! * **Crash/recover schedules** ([`CrashSpec`]): fail-stop a repository
+//!   at an instant, optionally recovering later, optionally taking out
+//!   its whole current d3g subtree as one correlated burst;
+//! * **Loss windows** ([`LossWindow`]): i.i.d. per-message destruction
+//!   with sender-side retransmission under capped exponential backoff
+//!   ([`RetransmitSpec`]). Receiver dedup holds by construction: all
+//!   attempts for a logical message resolve at send time, so at most one
+//!   arrival is ever scheduled;
+//! * **Degradation windows** ([`DegradeWindow`]): every send gains extra
+//!   heavy-tailed latency drawn from the paper's Pareto link-delay
+//!   family (`d3t_net::Pareto`).
+//!
+//! Installing a plan *compiles* it against the built overlay into a
+//! time-sorted control timeline merged into the drive loop exactly like
+//! the pre-seeded source-change stream: controls apply **before** any
+//! simulation event at the same timestamp, and batched drain runs never
+//! cross a control instant, so liveness and loss state are constant
+//! within a run.
+//!
+//! Repair is the paper-style resiliency story. Under
+//! [`RepairPolicy::Reparent`], the dependents of a crashed parent detect
+//! the silence after a detection timeout (a lease on expected traffic)
+//! and re-home onto the nearest surviving ancestor with capped,
+//! per-dependent staggered backoff — patching the compiled CSR
+//! forwarding table in place through the disseminator's adoption
+//! machinery, preserving the serial-send arithmetic of Eq. (1). Recovery
+//! re-attaches the original edges. Under [`RepairPolicy::None`] the
+//! orphaned subtrees simply starve — the passive fail-stop baseline.
+//! [`Metrics`] counts `lost`, `retransmits`, and `reparented`; the
+//! [`FaultMonitor`] observer tracks per-incident MTTR and
+//! fault-window fidelity.
+//!
+//! Determinism survives all of it: loss and degradation consume a single
+//! plan-seeded RNG advanced once per decision in original event order,
+//! so for a fixed `(seed, plan)` a faulted run is bit-identical across
+//! queue backends and batch caps, and an inert plan draws nothing at all
+//! — fault-free runs stay bit-identical to the sealed reference engine
+//! (`tests/fault_properties.rs` holds both ends).
+//!
 //! The simulation is fully deterministic: a seeded configuration always
 //! produces bit-identical reports, whatever mix of stepping, observers,
 //! and queue backends drives it.
@@ -89,6 +134,7 @@
 pub mod config;
 pub mod dynamics;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod observer;
 pub mod prepared;
@@ -99,8 +145,14 @@ pub mod session;
 pub use config::{SimConfig, TreeStrategy};
 pub use dynamics::{Dynamic, DynamicError};
 pub use engine::{Engine, Event, EventKind, TagTable};
+pub use fault::{
+    CrashSpec, DegradeWindow, FaultIncident, FaultMonitor, FaultPlan, LossWindow, RepairPolicy,
+    RepairSpec, RetransmitSpec,
+};
 pub use metrics::Metrics;
-pub use observer::{EventTrace, NoopObserver, Observer, TraceEvent, WindowPoint, WindowedFidelity};
+pub use observer::{
+    EventTrace, FaultObservation, NoopObserver, Observer, TraceEvent, WindowPoint, WindowedFidelity,
+};
 pub use prepared::Prepared;
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend, QueueVisitor};
 pub use report::RunReport;

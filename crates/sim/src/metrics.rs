@@ -31,6 +31,17 @@ pub struct Metrics {
     /// Mid-run dynamics applied via `Session::inject` (always 0 for a
     /// plain `run`).
     pub injected: u64,
+    /// Send attempts destroyed by the fault plan's message-loss model
+    /// (each failed attempt counts once; always 0 for a run with no
+    /// loss window).
+    pub lost: u64,
+    /// Retransmissions scheduled after a lost attempt, before the capped
+    /// backoff budget ran out (always 0 for a run with no loss window).
+    pub retransmits: u64,
+    /// Subscriptions re-parented onto a surviving ancestor by the
+    /// `Reparent` repair policy (always 0 for a fault-free run or under
+    /// `RepairPolicy::None`).
+    pub reparented: u64,
 }
 
 impl Metrics {

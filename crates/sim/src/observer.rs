@@ -24,6 +24,53 @@ use d3t_core::dissemination::Update;
 use d3t_core::item::ItemId;
 use d3t_core::overlay::NodeIdx;
 
+/// One fault-plan action the session observed — crash/recover schedule
+/// points, message-loss outcomes, and overlay self-healing steps. See
+/// the crate-level "Failure model" section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultObservation {
+    /// `node` crashed (fail-stop).
+    Crash {
+        /// The crashed repository node.
+        node: NodeIdx,
+    },
+    /// `node` recovered; any children adopted away from it were handed
+    /// back first.
+    Recover {
+        /// The recovered repository node.
+        node: NodeIdx,
+    },
+    /// `child`'s subscription to `item` was re-parented from the dead
+    /// `from` onto the surviving ancestor `to`.
+    Reparent {
+        /// The orphaned dependent.
+        child: NodeIdx,
+        /// Its crashed parent.
+        from: NodeIdx,
+        /// The surviving ancestor now serving it.
+        to: NodeIdx,
+        /// The re-parented item.
+        item: ItemId,
+    },
+    /// One send attempt from `from` to `to` was destroyed by the loss
+    /// model.
+    Lost {
+        /// Sender of the destroyed attempt.
+        from: NodeIdx,
+        /// Intended recipient.
+        to: NodeIdx,
+    },
+    /// A retransmission was scheduled after a lost attempt (capped
+    /// exponential backoff; the attempt it retries was reported as
+    /// [`FaultObservation::Lost`]).
+    Retransmit {
+        /// Retransmitting sender.
+        from: NodeIdx,
+        /// Recipient.
+        to: NodeIdx,
+    },
+}
+
 /// Callbacks a [`Session`](crate::session::Session) issues while it runs.
 /// Every method has a no-op default, so an observer implements only what
 /// it needs. Times are the engine's integer microseconds.
@@ -74,6 +121,13 @@ pub trait Observer {
     /// events still queued — the queue-stats feed for backlog dashboards.
     fn on_event(&mut self, at_us: u64, pending: usize) {
         let _ = (at_us, pending);
+    }
+
+    /// A fault-plan action was applied at `at_us` — crash, recovery,
+    /// re-parenting, a lost send attempt, or a retransmission. Only ever
+    /// called when a fault plan is installed.
+    fn on_fault(&mut self, at_us: u64, fault: &FaultObservation) {
+        let _ = (at_us, fault);
     }
 
     /// The observation window closed at `end_us` (called once, from
@@ -127,6 +181,10 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_event(&mut self, at_us: u64, pending: usize) {
         self.0.on_event(at_us, pending);
         self.1.on_event(at_us, pending);
+    }
+    fn on_fault(&mut self, at_us: u64, fault: &FaultObservation) {
+        self.0.on_fault(at_us, fault);
+        self.1.on_fault(at_us, fault);
     }
     fn on_end(&mut self, end_us: u64) {
         self.0.on_end(end_us);

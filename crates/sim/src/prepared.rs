@@ -128,6 +128,9 @@ impl Prepared {
     ) -> Session<Q, O> {
         let mut session = Session::from_engine(self.engine(), observer);
         session.set_batch_events(self.cfg.batch_events);
+        if !self.cfg.fault.is_inert() {
+            session.install_fault_plan(&self.cfg.fault);
+        }
         session
     }
 

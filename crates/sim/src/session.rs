@@ -98,8 +98,9 @@ use d3t_core::overlay::{NodeIdx, SOURCE};
 
 use crate::dynamics::{Dynamic, DynamicError};
 use crate::engine::{Engine, Event, EventKind, TagTable};
+use crate::fault::{FaultControl, FaultEvent, FaultPlan, FaultState, RepairOp, RepairPolicy};
 use crate::metrics::Metrics;
-use crate::observer::{NoopObserver, Observer};
+use crate::observer::{FaultObservation, NoopObserver, Observer};
 use crate::queue::{CalendarQueue, EventQueue};
 
 /// A live, steppable simulation run. Construct via
@@ -170,6 +171,13 @@ pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Obser
     decisions: RunDecisions,
     /// Always-on per-phase cycle/op counters for the drain loop.
     phases: PhaseStats,
+    /// Runtime of the installed [`FaultPlan`]: the compiled control
+    /// timeline (merged into the drive loop like the source stream, with
+    /// controls preceding equal-time simulation events), the pending
+    /// repair heap, and the live loss/degradation state the send paths
+    /// consult. Inert — one predictable branch per pop and per send —
+    /// unless a plan was installed.
+    faults: FaultState,
 }
 
 /// Default run cap — also `SimConfig::batch_events`' default. Large
@@ -299,6 +307,56 @@ fn cycles() -> u64 {
     }
 }
 
+/// Applies the installed plan's link model to one scheduled arrival:
+/// heavy-tailed delay degradation first, then the loss/retransmission
+/// loop — each lost attempt pays a capped doubling backoff until the
+/// retry budget runs out, at which point the message is abandoned
+/// (`None`; the sender's omniscient mirror stays ahead, so the next
+/// violating change retries — the same recovery story as fail-stop
+/// drops). Receiver dedup holds by construction: all attempts resolve
+/// here at send time, so at most one arrival is ever enqueued per
+/// logical message.
+///
+/// A free function over the session's disjoint fields (not a method)
+/// so the send paths can call it while `delays_us` is borrowed. Called
+/// once per send decision in original event order on every drive path —
+/// that single discipline is what makes faulted runs bit-identical
+/// across queue backends and batch caps.
+#[inline]
+fn faulty_arrival<O: Observer>(
+    faults: &mut FaultState,
+    metrics: &mut Metrics,
+    observer: &mut O,
+    at_us: u64,
+    from: NodeIdx,
+    to: NodeIdx,
+    mut arrival_us: u64,
+) -> Option<u64> {
+    use rand::Rng;
+    if let Some(pareto) = faults.degrade {
+        let extra_ms = pareto.sample(&mut faults.rng);
+        arrival_us = arrival_us.saturating_add((extra_ms * 1000.0).round() as u64);
+    }
+    if faults.loss_prob > 0.0 {
+        let spec = faults.retransmit;
+        let mut backoff = spec.base_backoff_us;
+        let mut attempt = 0u32;
+        while faults.rng.gen::<f64>() < faults.loss_prob {
+            metrics.lost += 1;
+            observer.on_fault(at_us, &FaultObservation::Lost { from, to });
+            if attempt >= spec.max_retries {
+                return None;
+            }
+            attempt += 1;
+            metrics.retransmits += 1;
+            observer.on_fault(at_us, &FaultObservation::Retransmit { from, to });
+            arrival_us = arrival_us.saturating_add(backoff);
+            backoff = backoff.saturating_mul(2).min(spec.max_backoff_us);
+        }
+    }
+    Some(arrival_us)
+}
+
 impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// Wraps an assembled engine into a steppable session. The engine's
     /// construction (input conversion, queue seeding) is the single
@@ -331,7 +389,20 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             run_scratch: RunScratch::default(),
             decisions: RunDecisions::new(),
             phases: PhaseStats::default(),
+            faults: FaultState::inert(),
         }
+    }
+
+    /// Installs a [`FaultPlan`], compiling it against the current overlay
+    /// into the control timeline the drive loop merges. Control events
+    /// apply **before** any simulation event at the same instant
+    /// (mirroring the stream-before-queue tie rule: state changes precede
+    /// the traffic that observes them), and batched drain runs never
+    /// cross a control instant. Installing a new plan replaces the
+    /// previous one wholesale; install before driving — controls already
+    /// in the past would fire late, clamped to `now_us`.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = FaultState::compile(plan, &self.disseminator, self.end_us);
     }
 
     /// Caps how many events one batched run may stage (the
@@ -412,7 +483,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// payload)`, or `None` when no events remain. Advances `now_us` to
     /// the event time.
     pub fn step(&mut self) -> Option<(u64, EventKind)> {
-        let (at_us, kind) = self.next_event()?;
+        let (at_us, kind) = self.pop_next_with_faults(self.end_us)?;
         self.process(at_us, kind, 0);
         Some((at_us, kind))
     }
@@ -425,7 +496,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     pub fn run_until(&mut self, t_us: u64) -> u64 {
         let t_us = t_us.min(self.end_us);
         let mut processed = 0u64;
-        while let Some(ev) = self.next_event() {
+        while let Some(ev) = self.pop_next_with_faults(t_us) {
             if ev.0 > t_us {
                 self.stash(ev);
                 break;
@@ -489,7 +560,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             // pure scalar path.
             let t0 = cycles();
             let mut events = 0u64;
-            while let Some((at_us, kind)) = self.next_event() {
+            while let Some((at_us, kind)) = self.pop_next_with_faults(self.end_us) {
                 self.process(at_us, kind, 0);
                 events += 1;
             }
@@ -505,7 +576,7 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 // A held-back event may interleave anywhere; take the
                 // scalar path until the lookahead drains (whole
                 // iteration attributed to `process`).
-                match self.next_event() {
+                match self.pop_next_with_faults(self.end_us) {
                     None => break,
                     Some((at_us, kind)) => {
                         self.process(at_us, kind, 0);
@@ -527,9 +598,9 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                 0 => {
                     // Nothing poppable in bulk: defer to the scalar
                     // three-way merge for the tail (a `u64::MAX` residue
-                    // arrival, or done) — one source of truth for the
-                    // tie precedence.
-                    match self.next_event() {
+                    // arrival, a due fault control, or done) — one source
+                    // of truth for the tie precedence.
+                    match self.pop_next_with_faults(self.end_us) {
                         Some((at_us, kind)) => {
                             self.phases.queue.ops += 1;
                             self.process(at_us, kind, 0);
@@ -576,8 +647,13 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     ///   so the safety-window argument covers them unchanged.
     fn pop_run_mixed(&mut self, buf: &mut Vec<(u64, EventKind)>) -> usize {
         let max = self.batch_events;
+        // Runs never cross a fault-control instant: liveness, loss and
+        // degradation state stay constant within a run, so the batched
+        // pipeline sees exactly the state the scalar drive would. Idle
+        // fault state caps at `u64::MAX` — no cost, no effect.
+        let f_at = self.faults.next_at();
         let head_at = self.source_stream.get(self.stream_cursor).map(|&(at_us, _)| at_us);
-        let cap0 = head_at.unwrap_or(u64::MAX);
+        let cap0 = head_at.unwrap_or(u64::MAX).min(f_at);
         let n = self.queue.pop_run(self.batch_window_us, cap0, max, buf);
         if n > 0 {
             return n;
@@ -585,7 +661,12 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
         // Queue has nothing strictly below the stream head, so the head
         // (if any) is the global minimum and anchors the window.
         let Some(first_at) = head_at else { return 0 };
-        let limit = first_at.saturating_add(self.batch_window_us);
+        if first_at >= f_at {
+            // The next control fires at or before the stream head; defer
+            // to the scalar merge so the control applies first.
+            return 0;
+        }
+        let limit = first_at.saturating_add(self.batch_window_us).min(f_at);
         let mut n = 0usize;
         while n < max {
             let s_at = self.source_stream.get(self.stream_cursor).map_or(u64::MAX, |&(a, _)| a);
@@ -764,7 +845,21 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
                     for &child in to {
                         cpu += self.comp_delay_us;
                         self.metrics.messages += 1;
-                        let arrival_us = cpu + u64::from(delay_row[child.index()]);
+                        let mut arrival_us = cpu + u64::from(delay_row[child.index()]);
+                        if self.faults.link_active() {
+                            match faulty_arrival(
+                                &mut self.faults,
+                                &mut self.metrics,
+                                &mut self.observer,
+                                at_us,
+                                t.node,
+                                child,
+                                arrival_us,
+                            ) {
+                                Some(a) => arrival_us = a,
+                                None => continue,
+                            }
+                        }
                         self.observer.on_send(at_us, t.node, child, &update, arrival_us);
                         if arrival_us > self.end_us {
                             self.metrics.undelivered += 1;
@@ -815,6 +910,9 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             }
             Dynamic::RecoverRepo { repo } => {
                 let node = self.check_repo(repo)?;
+                // Re-attach any children adopted away by the repair
+                // policy before reactivating (no-op without adoptions).
+                self.disseminator.restore_children_of(node);
                 self.disseminator.set_node_active(node, true);
             }
             Dynamic::SetTolerance { repo, item, c } => {
@@ -894,6 +992,130 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
             // Only events at exactly `u64::MAX` remain reachable here.
             (None, None) => self.queue.pop(),
         }
+    }
+
+    /// The drive-loop merge of [`Session::next_event`] with the fault
+    /// timeline: pops the next simulation event, first applying every due
+    /// fault control. A control at `t` applies before any simulation
+    /// event at `t` (state changes precede the traffic that observes
+    /// them), and controls up to `limit_us` apply even when no simulation
+    /// event remains at or before them — so `run_until` leaves the fault
+    /// state current at its target instant. Controls past `limit_us`
+    /// never fire early. The fast path is one `is_idle` check.
+    fn pop_next_with_faults(&mut self, limit_us: u64) -> Option<(u64, EventKind)> {
+        loop {
+            if self.faults.is_idle() {
+                return self.next_event();
+            }
+            let f_at = self.faults.next_at();
+            match self.next_event() {
+                Some(ev) => {
+                    if f_at <= ev.0 && f_at <= limit_us {
+                        self.stash(ev);
+                        self.apply_next_control();
+                    } else {
+                        return Some(ev);
+                    }
+                }
+                None => {
+                    if f_at <= limit_us {
+                        self.apply_next_control();
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the single next due control action — a compiled timeline
+    /// event or a pending repair — at its scheduled instant (clamped to
+    /// `now_us` for plans installed mid-run).
+    fn apply_next_control(&mut self) {
+        let Some((at_us, ctl)) = self.faults.pop_next() else { return };
+        let at_us = at_us.max(self.now_us);
+        self.now_us = at_us;
+        match ctl {
+            FaultControl::Timeline(ev) => self.apply_fault_event(at_us, ev),
+            FaultControl::Repair(op) => self.apply_repair(at_us, op),
+        }
+    }
+
+    /// Applies one compiled timeline event. Crash/recover guards make
+    /// redundant events (overlapping subtree bursts, recovery of a node
+    /// that never went down) no-ops, so overlapping plan windows compose.
+    fn apply_fault_event(&mut self, at_us: u64, ev: FaultEvent) {
+        match ev {
+            FaultEvent::Crash { node } => {
+                let node = NodeIdx(node);
+                if !self.disseminator.is_active(node) {
+                    return;
+                }
+                self.disseminator.set_node_active(node, false);
+                self.observer.on_fault(at_us, &FaultObservation::Crash { node });
+                if self.faults.policy == RepairPolicy::Reparent {
+                    // Enumerate the orphans now (the topology at crash
+                    // time) and schedule their staggered re-parenting;
+                    // execution re-checks that the parent is still dead
+                    // and the child still attached to it.
+                    for (rank, (item, child)) in
+                        self.disseminator.dependents_of(node).into_iter().enumerate()
+                    {
+                        self.faults.schedule_repair(
+                            at_us,
+                            rank,
+                            RepairOp { child: child.0, item: item.0, dead: node.0 },
+                        );
+                    }
+                }
+            }
+            FaultEvent::Recover { node } => {
+                let node = NodeIdx(node);
+                if self.disseminator.is_active(node) {
+                    return;
+                }
+                // Re-attach adopted-away children first, then reactivate:
+                // reactivation's centralized class resync then covers the
+                // restored dependents too.
+                self.disseminator.restore_children_of(node);
+                self.disseminator.set_node_active(node, true);
+                self.observer.on_fault(at_us, &FaultObservation::Recover { node });
+            }
+            FaultEvent::LossStart { prob } => self.faults.loss_prob = prob,
+            FaultEvent::LossEnd => self.faults.loss_prob = 0.0,
+            FaultEvent::DegradeStart { min_ms, mean_ms } => {
+                self.faults.degrade = Some(d3t_net::Pareto::with_mean(min_ms, mean_ms));
+            }
+            FaultEvent::DegradeEnd => self.faults.degrade = None,
+        }
+    }
+
+    /// Executes one due re-parenting: the orphan detaches from its dead
+    /// parent and re-homes onto the nearest surviving ancestor. Stale ops
+    /// — the parent already recovered, or the child was already re-homed
+    /// — are dropped silently.
+    fn apply_repair(&mut self, at_us: u64, op: RepairOp) {
+        let dead = NodeIdx(op.dead);
+        let child = NodeIdx(op.child);
+        let item = d3t_core::item::ItemId(op.item);
+        if self.disseminator.is_active(dead)
+            || self.disseminator.parent_of(child, item) != Some(dead)
+        {
+            return;
+        }
+        // Walk up from the dead parent to the nearest surviving ancestor
+        // (the source never crashes, so the walk terminates).
+        let mut foster = dead;
+        loop {
+            foster = self.disseminator.parent_of(foster, item).unwrap_or(SOURCE);
+            if foster.is_source() || self.disseminator.is_active(foster) {
+                break;
+            }
+        }
+        self.disseminator.reparent(child, item, foster);
+        self.metrics.reparented += 1;
+        self.observer
+            .on_fault(at_us, &FaultObservation::Reparent { child, from: dead, to: foster, item });
     }
 
     /// One event through the full pipeline — the body of the reference
@@ -1004,7 +1226,21 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
         for &child in to {
             cpu += self.comp_delay_us;
             self.metrics.messages += 1;
-            let arrival_us = cpu + u64::from(delay_row[child.index()]);
+            let mut arrival_us = cpu + u64::from(delay_row[child.index()]);
+            if self.faults.link_active() {
+                match faulty_arrival(
+                    &mut self.faults,
+                    &mut self.metrics,
+                    &mut self.observer,
+                    now_us,
+                    node,
+                    child,
+                    arrival_us,
+                ) {
+                    Some(a) => arrival_us = a,
+                    None => continue,
+                }
+            }
             self.observer.on_send(now_us, node, child, &update, arrival_us);
             if arrival_us > self.end_us {
                 self.metrics.undelivered += 1;
@@ -1198,6 +1434,221 @@ mod tests {
         assert_eq!(times, sorted, "events must replay in global time order: {times:?}");
         assert!(times.contains(&750_000), "injected arrival delivered at 750ms");
         assert!(times.contains(&1_000_000), "held-back trace change still processed");
+    }
+
+    /// S → P (c=0.3) → C (c=0.5): the chain fixture for repair tests.
+    fn chain_session<O: Observer>(
+        comm_ms: f64,
+        comp_ms: f64,
+        end_ms: f64,
+        observer: O,
+    ) -> Session<CalendarQueue<EventKind>, O> {
+        let w = Workload::from_needs(vec![vec![Some(c(0.3))], vec![Some(c(0.5))]]);
+        let mut g = D3g::new(2, 1);
+        g.add_edge(SOURCE, NodeIdx::repo(0), ItemId(0), c(0.3));
+        g.add_edge(NodeIdx::repo(0), NodeIdx::repo(1), ItemId(0), c(0.5));
+        let delays = DelayMatrix::uniform(3, comm_ms);
+        let d = Disseminator::new(Protocol::Distributed, &g, &[1.0]);
+        let changes = [(1000u64, ItemId(0), 2.0), (3000, ItemId(0), 3.0)];
+        let engine = Engine::new(&g, &w, &delays, d, &changes, &[1.0], comp_ms, ms_to_us(end_ms));
+        Session::from_engine(engine, observer)
+    }
+
+    #[test]
+    fn fault_plan_crash_recover_matches_injected_dynamics() {
+        // The plan-driven twin of `fail_and_recover_account_staleness_exactly`:
+        // crash before the t=1000ms change, recover at 2000ms — identical
+        // fidelity, but scheduled declaratively and observable.
+        let changes = [(1000u64, ItemId(0), 2.0), (3000, ItemId(0), 3.0)];
+        let plan = crate::fault::FaultPlan {
+            crashes: vec![crate::fault::CrashSpec {
+                repo: 0,
+                at_us: 500_000,
+                recover_at_us: Some(2_000_000),
+                subtree: false,
+            }],
+            ..Default::default()
+        };
+        for cap in [1usize, 64] {
+            let mut s = tiny_session(&changes, 200.0, 50.0, 10_000.0);
+            s.set_batch_events(cap);
+            s.install_fault_plan(&plan);
+            let (rep, m) = s.run_to_end();
+            assert_eq!(m.dropped, 1, "cap {cap}");
+            assert_eq!(m.injected, 0, "plans are not injections");
+            assert!((rep.loss_pct - 22.5).abs() < 1e-6, "cap {cap} loss {}", rep.loss_pct);
+        }
+    }
+
+    #[test]
+    fn crash_boundary_is_exact_on_scalar_and_batched_paths() {
+        // Arrivals land at 1250 and 3250 ms. A crash at *exactly* the
+        // first arrival instant applies before the equal-time arrival
+        // (controls precede simulation events), so the violation opened
+        // at 1000ms runs to the 3250ms repair: 22.5% loss. One µs later
+        // and the arrival is delivered first: the violation closes at
+        // 1250ms and only the 3000–3250ms interval remains: 5% loss.
+        let changes = [(1000u64, ItemId(0), 2.0), (3000, ItemId(0), 3.0)];
+        for (crash_at, expect_dropped, expect_loss) in
+            [(1_250_000u64, 1u64, 22.5f64), (1_250_001, 0, 5.0)]
+        {
+            let plan = crate::fault::FaultPlan {
+                crashes: vec![crate::fault::CrashSpec {
+                    repo: 0,
+                    at_us: crash_at,
+                    recover_at_us: Some(2_000_000),
+                    subtree: false,
+                }],
+                ..Default::default()
+            };
+            for cap in [1usize, 64] {
+                let mut s = tiny_session(&changes, 200.0, 50.0, 10_000.0);
+                s.set_batch_events(cap);
+                s.install_fault_plan(&plan);
+                let (rep, m) = s.run_to_end();
+                assert_eq!(m.dropped, expect_dropped, "crash at {crash_at} cap {cap}");
+                assert!(
+                    (rep.loss_pct - expect_loss).abs() < 1e-6,
+                    "crash at {crash_at} cap {cap}: loss {}",
+                    rep.loss_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reparent_policy_rehomes_orphan_and_restores_on_recovery() {
+        // Crash the relay P at 500ms with no recovery. Under `Reparent`,
+        // C detects the dead parent (detect 100ms + backoff 50ms, due at
+        // 650ms) and re-homes onto the source: the 2.0 change at 1000ms
+        // reaches C at 1300ms (second in the source's send queue). Under
+        // `None`, C starves for the rest of the run.
+        let mk_plan = |policy| crate::fault::FaultPlan {
+            crashes: vec![crate::fault::CrashSpec {
+                repo: 0,
+                at_us: 500_000,
+                recover_at_us: None,
+                subtree: false,
+            }],
+            repair: crate::fault::RepairSpec {
+                policy,
+                detect_timeout_us: 100_000,
+                base_backoff_us: 50_000,
+                max_backoff_us: 400_000,
+            },
+            ..Default::default()
+        };
+        let run = |policy| {
+            let mut s = chain_session(200.0, 50.0, 10_000.0, NoopObserver);
+            s.install_fault_plan(&mk_plan(policy));
+            let reparented_mid = {
+                s.run_until(700_000);
+                s.metrics().reparented
+            };
+            let (rep, m) = s.run_to_end();
+            (rep, m, reparented_mid)
+        };
+        let (rep_fix, m_fix, mid) = run(crate::fault::RepairPolicy::Reparent);
+        assert_eq!(mid, 1, "repair executed at 650ms, before the first change");
+        assert_eq!(m_fix.reparented, 1);
+        let (rep_none, m_none, _) = run(crate::fault::RepairPolicy::None);
+        assert_eq!(m_none.reparented, 0);
+        // P's own pair is violated from 1000ms to the end either way
+        // (45% of the pair-time); C's pair adds (1300-1000) + (3300-3000)
+        // µs under repair vs 10000-1000 unrepaired.
+        assert!(
+            rep_fix.loss_pct < rep_none.loss_pct - 20.0,
+            "repair {} vs none {}",
+            rep_fix.loss_pct,
+            rep_none.loss_pct
+        );
+        // Deterministic repeat.
+        let (rep_fix2, m_fix2, _) = run(crate::fault::RepairPolicy::Reparent);
+        assert_eq!((rep_fix, m_fix), (rep_fix2, m_fix2));
+    }
+
+    #[test]
+    fn recovery_restores_original_topology_after_reparent() {
+        // Crash P at 500ms, repair C onto the source at 650ms, recover P
+        // at 2000ms: the adoption must unwind, so the 3.0 change at
+        // 3000ms flows S→P→C again (P hears it at 3250ms and relays, so
+        // C hears it at 3500ms — not at 3300ms via the source).
+        let plan = crate::fault::FaultPlan {
+            crashes: vec![crate::fault::CrashSpec {
+                repo: 0,
+                at_us: 500_000,
+                recover_at_us: Some(2_000_000),
+                subtree: false,
+            }],
+            repair: crate::fault::RepairSpec {
+                policy: crate::fault::RepairPolicy::Reparent,
+                detect_timeout_us: 100_000,
+                base_backoff_us: 50_000,
+                max_backoff_us: 400_000,
+            },
+            ..Default::default()
+        };
+        let mut s = chain_session(200.0, 50.0, 10_000.0, EventTrace::with_capacity(64));
+        s.install_fault_plan(&plan);
+        s.run_until(2_500_000);
+        assert_eq!(s.disseminator().adoption_count(), 0, "recovery unwound the adoption");
+        assert_eq!(s.disseminator().parent_of(NodeIdx::repo(1), ItemId(0)), Some(NodeIdx::repo(0)));
+        let (_rep, m, trace) = s.finish();
+        assert_eq!(m.reparented, 1);
+        let c_deliveries: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                crate::observer::TraceEvent::Delivery { at_us, node, .. }
+                    if node == NodeIdx::repo(1) =>
+                {
+                    Some(at_us)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(
+            c_deliveries.contains(&1_300_000),
+            "2.0 reached C directly from the source: {c_deliveries:?}"
+        );
+        assert!(
+            c_deliveries.contains(&3_500_000),
+            "3.0 flowed S→P→C after recovery: {c_deliveries:?}"
+        );
+    }
+
+    #[test]
+    fn loss_and_degrade_windows_are_deterministic_and_observable() {
+        // A 60% loss window over the whole run forces retransmissions
+        // (capped backoff), and a degradation window inflates arrivals;
+        // both must be bit-deterministic for a fixed (seed, plan) and
+        // inert once the window closes.
+        let changes: Vec<SourceChange> =
+            (1..40).map(|i| (i * 200, ItemId(0), 1.0 + i as f64 * 0.2)).collect();
+        let plan = crate::fault::FaultPlan {
+            loss: vec![crate::fault::LossWindow { prob: 0.6, from_us: 0, to_us: 4_000_000 }],
+            degrade: vec![crate::fault::DegradeWindow {
+                from_us: 2_000_000,
+                to_us: 5_000_000,
+                min_extra_ms: 10.0,
+                mean_extra_ms: 40.0,
+            }],
+            seed: 9,
+            ..Default::default()
+        };
+        let run = |cap: usize| {
+            let mut s = tiny_session(&changes, 25.0, 12.5, 10_000.0);
+            s.set_batch_events(cap);
+            s.install_fault_plan(&plan);
+            s.run_to_end()
+        };
+        let (rep1, m1) = run(1);
+        assert!(m1.lost > 0, "60% loss must destroy some attempts");
+        assert!(m1.retransmits > 0, "retransmissions must fire");
+        assert!(m1.retransmits <= m1.lost, "every retransmit follows a loss");
+        for cap in [7usize, 64] {
+            assert_eq!(run(cap), (rep1.clone(), m1), "cap {cap} diverged");
+        }
     }
 
     #[test]

@@ -1,17 +1,33 @@
 //! Failover: inject a repository failure burst into a live session and
-//! watch fidelity degrade while the burst lasts, then recover.
+//! watch fidelity degrade while the burst lasts, then recover — then run
+//! the same burst through the declarative fault plan with and without
+//! self-healing re-parenting.
 //!
 //! ```text
 //! cargo run --release --example failover
 //! ```
 //!
-//! Two sessions over *identical* prepared inputs: a static baseline and a
-//! churn run in which every 5th repository fail-stops at 30% of the
-//! horizon and recovers at 60%. Both collect a windowed fidelity time
-//! series through the [`WindowedFidelity`] observer; the table prints
-//! them side by side with the burst phase marked.
+//! Part one drives the burst by hand: two sessions over *identical*
+//! prepared inputs, a static baseline and a churn run in which every 5th
+//! repository fail-stops at 30% of the horizon and recovers at 60%. Both
+//! collect a windowed fidelity time series through the
+//! [`WindowedFidelity`] observer; the table prints them side by side with
+//! the burst phase marked.
+//!
+//! Part two replays a *permanent* crash of the same victims as a seeded
+//! [`FaultPlan`] — no recovery this time — once under
+//! `RepairPolicy::None` (orphaned subtrees starve) and once under
+//! `RepairPolicy::Reparent` (dependents detect the dead parent and
+//! re-home onto surviving ancestors). The side-by-side series shows what
+//! repair buys: the orphaned subtrees keep hearing updates under repair
+//! and starve to the end of the run without it. (The dead victims' own
+//! pairs still count here; the `resilience` experiment censors them to
+//! isolate the survivors' recovery.)
 
-use d3t::sim::{Dynamic, Prepared, SimConfig, WindowedFidelity};
+use d3t::sim::{
+    CrashSpec, Dynamic, FaultMonitor, FaultPlan, Prepared, RepairPolicy, RepairSpec, SimConfig,
+    WindowedFidelity,
+};
 
 fn main() {
     let mut cfg = SimConfig::small_for_tests(30, 20, 2_000, 50.0);
@@ -62,4 +78,52 @@ fn main() {
         static_rep.loss_pct, churn_rep.loss_pct, churn_m.injected, churn_m.dropped
     );
     assert!(churn_rep.loss_pct > static_rep.loss_pct, "the burst must cost fidelity overall");
+
+    // Part two: the same victims, but *permanently* dead and driven by a
+    // declarative fault plan — once without repair, once with it.
+    let run_plan = |policy: RepairPolicy| {
+        let plan = FaultPlan {
+            crashes: victims
+                .iter()
+                .map(|&repo| CrashSpec {
+                    repo,
+                    at_us: fail_us,
+                    recover_at_us: None,
+                    subtree: false,
+                })
+                .collect(),
+            repair: RepairSpec { policy, ..RepairSpec::default() },
+            seed: 0xFA17,
+            ..FaultPlan::default()
+        };
+        let mut s = prepared
+            .session_observing((WindowedFidelity::new(window_us, n_pairs), FaultMonitor::new()));
+        s.install_fault_plan(&plan);
+        s.finish()
+    };
+    let (none_rep, _, (none_obs, none_mon)) = run_plan(RepairPolicy::None);
+    let (fix_rep, fix_m, (fix_obs, fix_mon)) = run_plan(RepairPolicy::Reparent);
+
+    println!(
+        "\npermanent burst via FaultPlan: {} victims never recover \
+         (with repair: {} subscriptions re-homed, mttr {:.0}ms; without: mttr {:.0}ms)",
+        victims.len(),
+        fix_m.reparented,
+        fix_mon.mttr_ms(),
+        none_mon.mttr_ms()
+    );
+    println!("\n  window    no-repair %   reparent %");
+    for (n, f) in none_obs.series().iter().zip(fix_obs.series().iter()) {
+        let mark = if n.0 * 1e6 >= fail_us as f64 { "  ◀ victims down" } else { "" };
+        println!("  {:>6.0}s    {:>9.2}    {:>9.2}{}", n.0, n.1, f.1, mark);
+    }
+    println!(
+        "\noverall loss of fidelity: no-repair {:.2}%, reparent {:.2}% (baseline {:.2}%)",
+        none_rep.loss_pct, fix_rep.loss_pct, static_rep.loss_pct
+    );
+    assert!(fix_m.reparented > 0, "repair must re-home at least one subscription");
+    assert!(
+        fix_rep.loss_pct < none_rep.loss_pct,
+        "self-healing must beat passive fail-stop on a permanent burst"
+    );
 }

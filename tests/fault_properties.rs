@@ -1,0 +1,215 @@
+//! Cross-cutting properties of the deterministic fault-injection layer.
+//!
+//! Three contracts, in increasing order of adversity:
+//!
+//! 1. **Inert plans are invisible.** A run with an installed-but-inert
+//!    [`FaultPlan`] (no crashes, zero-probability loss, no degradation,
+//!    `RepairPolicy::None`) is bit-identical to the sealed reference
+//!    [`Engine::run`] loop — across all four protocols, both queue
+//!    backends, and every batch cap. Fault support costs nothing and
+//!    changes nothing until a plan actually does something.
+//!
+//! 2. **Faulted runs are bit-deterministic.** For a fixed `(seed, plan)`
+//!    — crashes with and without recovery, a correlated subtree burst,
+//!    a loss window with retransmission, a Pareto degradation window,
+//!    and the `Reparent` repair policy all at once — every backend × cap
+//!    combination produces the `(FidelityReport, Metrics)` of the cap-1
+//!    scalar drive bit-for-bit, and a repeat run reproduces it exactly.
+//!
+//! 3. **Injected storms are drive-invariant.** A seeded storm of
+//!    `inject`-driven fail / recover / renegotiate dynamics applied at
+//!    pseudo-random instants is bit-identical across backends × caps
+//!    (the sealed engine has no injection surface, so the cap-1 scalar
+//!    session — itself pinned to the engine by property 1 and
+//!    `tests/session_properties.rs` — is the reference).
+
+use d3t::core::coherency::Coherency;
+use d3t::core::dissemination::Protocol;
+use d3t::core::fidelity::FidelityReport;
+use d3t::core::overlay::NodeIdx;
+use d3t::sim::{
+    CalendarQueue, CrashSpec, DegradeWindow, Dynamic, EventKind, EventQueue, FaultPlan, HeapQueue,
+    LossWindow, Metrics, NoopObserver, Prepared, RepairPolicy, RepairSpec, SimConfig,
+};
+
+const CAPS: [usize; 4] = [1, 7, 16, 64];
+const PROTOCOLS: [Protocol; 4] =
+    [Protocol::Distributed, Protocol::Centralized, Protocol::Naive, Protocol::FloodAll];
+
+fn small(protocol: Protocol, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small_for_tests(14, 6, 400, 50.0);
+    cfg.protocol = protocol;
+    cfg.seed = seed;
+    cfg.coop_res = 3;
+    cfg
+}
+
+/// Cheap deterministic stream (xorshift64*amble) for storm schedules.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn run_faulted<Q: EventQueue<EventKind>>(
+    p: &Prepared,
+    plan: &FaultPlan,
+    cap: usize,
+) -> (FidelityReport, Metrics) {
+    let mut s = p.session_with::<Q, _>(NoopObserver);
+    s.set_batch_events(cap);
+    s.install_fault_plan(plan);
+    s.run_to_end()
+}
+
+/// The repo serving the most dependent subscriptions — crashing it makes
+/// the repair machinery actually fire.
+fn busiest_repo(p: &Prepared) -> (usize, usize) {
+    let s = p.session();
+    let d = s.disseminator();
+    (0..p.config().n_repos)
+        .map(|r| (r, d.dependents_of(NodeIdx::repo(r)).len()))
+        .max_by_key(|&(_, n)| n)
+        .expect("at least one repo")
+}
+
+#[test]
+fn inert_plan_keeps_bit_identity_with_sealed_oracle() {
+    // An installed inert plan — including a zero-probability loss window,
+    // which must never arm the link model — changes nothing relative to
+    // the sealed reference engine, whatever drives the run.
+    let inert = FaultPlan {
+        loss: vec![LossWindow { prob: 0.0, from_us: 0, to_us: 1_000_000 }],
+        repair: RepairSpec { policy: RepairPolicy::None, ..Default::default() },
+        ..Default::default()
+    };
+    assert!(inert.is_inert());
+    for protocol in PROTOCOLS {
+        let cfg = small(protocol, 0x5EED);
+        let p = Prepared::build(&cfg);
+        let sealed = p.engine::<CalendarQueue<EventKind>>().run();
+        for cap in CAPS {
+            let cal = run_faulted::<CalendarQueue<EventKind>>(&p, &inert, cap);
+            let heap = run_faulted::<HeapQueue<EventKind>>(&p, &inert, cap);
+            assert_eq!(cal, sealed, "{protocol:?} cap {cap}: calendar diverged from oracle");
+            assert_eq!(heap, sealed, "{protocol:?} cap {cap}: heap diverged from oracle");
+            assert_eq!(format!("{cal:?}"), format!("{sealed:?}"), "{protocol:?} cap {cap}: repr");
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_deterministic_across_backends_and_caps() {
+    for protocol in PROTOCOLS {
+        for seed in [0x5EEDu64, 4242] {
+            let cfg = small(protocol, seed);
+            let p = Prepared::build(&cfg);
+            let (victim, n_deps) = busiest_repo(&p);
+            assert!(n_deps > 0, "seed {seed}: the overlay has no interior repo to crash");
+            let end = p.end_us;
+            let plan = FaultPlan {
+                crashes: vec![
+                    // The busiest relay goes down for good — Reparent is
+                    // the only way its dependents ever hear again.
+                    CrashSpec { repo: victim, at_us: end / 4, recover_at_us: None, subtree: false },
+                    // A correlated burst that later recovers.
+                    CrashSpec {
+                        repo: (victim + 1) % cfg.n_repos,
+                        at_us: end / 3,
+                        recover_at_us: Some(end * 2 / 3),
+                        subtree: true,
+                    },
+                ],
+                loss: vec![LossWindow { prob: 0.3, from_us: end / 8, to_us: end / 2 }],
+                degrade: vec![DegradeWindow {
+                    from_us: end / 3,
+                    to_us: end * 3 / 4,
+                    min_extra_ms: 5.0,
+                    mean_extra_ms: 25.0,
+                }],
+                repair: RepairSpec {
+                    policy: RepairPolicy::Reparent,
+                    detect_timeout_us: 150_000,
+                    base_backoff_us: 20_000,
+                    max_backoff_us: 300_000,
+                },
+                seed: seed ^ 0xF00D,
+                ..Default::default()
+            };
+            let reference = run_faulted::<CalendarQueue<EventKind>>(&p, &plan, 1);
+            assert!(reference.1.lost > 0, "{protocol:?}/{seed}: loss window never fired");
+            assert!(
+                reference.1.reparented > 0,
+                "{protocol:?}/{seed}: {n_deps} orphans but no reparent"
+            );
+            for cap in CAPS {
+                let cal = run_faulted::<CalendarQueue<EventKind>>(&p, &plan, cap);
+                let heap = run_faulted::<HeapQueue<EventKind>>(&p, &plan, cap);
+                assert_eq!(cal, reference, "{protocol:?}/{seed} cap {cap}: calendar diverged");
+                assert_eq!(heap, reference, "{protocol:?}/{seed} cap {cap}: heap diverged");
+            }
+            // Same (seed, plan) twice — bit-identical repeat.
+            assert_eq!(
+                run_faulted::<CalendarQueue<EventKind>>(&p, &plan, 1),
+                reference,
+                "{protocol:?}/{seed}: repeat run diverged"
+            );
+        }
+    }
+}
+
+fn drive_inject_storm<Q: EventQueue<EventKind>>(
+    p: &Prepared,
+    cap: usize,
+    storm_seed: u64,
+) -> (FidelityReport, Metrics) {
+    let mut s = p.session_with::<Q, _>(NoopObserver);
+    s.set_batch_events(cap);
+    let n_repos = p.config().n_repos;
+    let mut x = storm_seed | 1;
+    let mut ts: Vec<u64> = (0..12).map(|_| xorshift(&mut x) % (p.end_us + 1)).collect();
+    ts.sort_unstable();
+    for t in ts {
+        s.run_until(t);
+        let repo = (xorshift(&mut x) as usize) % n_repos;
+        match xorshift(&mut x) % 3 {
+            0 => {
+                let _ = s.inject(Dynamic::FailRepo { repo });
+            }
+            1 => {
+                let _ = s.inject(Dynamic::RecoverRepo { repo });
+            }
+            _ => {
+                let n = p.workload.items_of(repo).count();
+                if n > 0 {
+                    let pick = (xorshift(&mut x) as usize) % n;
+                    let (item, c) = p.workload.items_of(repo).nth(pick).expect("pick < n");
+                    let factor = if xorshift(&mut x).is_multiple_of(2) { 0.5 } else { 1.5 };
+                    let c = Coherency::new(c.value() * factor);
+                    let _ = s.inject(Dynamic::SetTolerance { repo, item, c });
+                }
+            }
+        }
+    }
+    s.run_to_end()
+}
+
+#[test]
+fn inject_storms_are_cap_and_backend_invariant() {
+    for protocol in PROTOCOLS {
+        for seed in [0x5EEDu64, 907] {
+            let cfg = small(protocol, seed);
+            let p = Prepared::build(&cfg);
+            let storm_seed = seed.rotate_left(17) ^ 0xBAD;
+            let reference = drive_inject_storm::<CalendarQueue<EventKind>>(&p, 1, storm_seed);
+            assert!(reference.1.injected > 0, "{protocol:?}/{seed}: storm injected nothing");
+            for cap in CAPS {
+                let cal = drive_inject_storm::<CalendarQueue<EventKind>>(&p, cap, storm_seed);
+                let heap = drive_inject_storm::<HeapQueue<EventKind>>(&p, cap, storm_seed);
+                assert_eq!(cal, reference, "{protocol:?}/{seed} cap {cap}: calendar diverged");
+                assert_eq!(heap, reference, "{protocol:?}/{seed} cap {cap}: heap diverged");
+            }
+        }
+    }
+}
