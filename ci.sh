@@ -9,6 +9,18 @@ cargo fmt --all --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== d3t-lint (determinism & safety rule pack) =="
+# The workspace self-lint must be clean: every suppression is either an
+# inline `// d3t-lint: allow(CODE) -- reason` pragma or a reasoned entry
+# in crates/lint/allowlist.txt (stale entries themselves fail as L002).
+# The grep pins the machine-readable trailer at zero violations; the
+# rest of the --json stdout is the BENCH_lint.json artifact (per-rule
+# counts, files scanned, wall time).
+lint_out=$(cargo run --release -q -p d3t-lint -- --workspace --json)
+echo "$lint_out" | grep '^LINT files=.* rules=.* violations=0'
+echo "$lint_out" | grep -v '^LINT' > BENCH_lint.json
+test "$(grep -c '"code": "' BENCH_lint.json)" -ge 7
+
 echo "== build (release) =="
 cargo build --release
 
@@ -63,5 +75,6 @@ test "$(grep -c '"phase": "\(queue\|process\|fidelity\|transmit\)"' BENCH_phases
 cat BENCH_queue.json
 cat BENCH_phases.json
 cat BENCH_resilience.json
+cat BENCH_lint.json
 
 echo "CI green."

@@ -79,7 +79,9 @@ impl Eq for Coherency {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Coherency {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("coherency values are always finite")
+        // `Coherency::new` rejects non-finite values, so IEEE total order
+        // coincides with the numeric order callers expect.
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -355,6 +355,7 @@ impl Disseminator {
                 for &ch in d3g.children_of(node, item) {
                     let c = d3g
                         .effective(ch, item)
+                        // d3t-lint: allow(P001) -- d3g.validate() guarantees every child edge has an effective coherency
                         .expect("child subscribed to an item it does not hold");
                     parent[i * n_nodes + ch.index()] = node.0;
                     parent_edge[i * n_nodes + ch.index()] = child_edges.len() as u32;
@@ -511,6 +512,7 @@ impl Disseminator {
             let e = self.child_edges[self.rows[base + a.child as usize].parent_edge as usize];
             checks += 1;
             let keep = match self.protocol {
+                // d3t-lint: allow(P001) -- the protocol match above only reaches here with a tagged update
                 Protocol::Centralized => e.c <= update.tag.expect("tag checked above").value(),
                 Protocol::Naive => (update.value - e.last).abs() > e.c + VALUE_EPSILON,
                 Protocol::Distributed => {
@@ -590,6 +592,7 @@ impl Disseminator {
         let r = meta.start as usize..(meta.start + meta.len) as usize;
         out.checks = match self.protocol {
             Protocol::Centralized => {
+                // d3t-lint: allow(P001) -- the source arm stamps a tag on every centralized update
                 let tag = update.tag.expect("centralized updates always carry a tag");
                 kernel::tag_filter(tag.value(), &self.child_edges[r], &mut out.to)
             }
@@ -685,6 +688,7 @@ impl Disseminator {
                         out.updates.push(Update { item: t.item, value: t.value, tag: None });
                     }
                 }
+                // d3t-lint: allow(P001) -- this branch pushed into out.updates a few lines above
                 let u = *out.updates.last().expect("source arm pushed its update");
                 out.source_checks += self.adopted_into(SOURCE, u, &mut out.to);
             } else {

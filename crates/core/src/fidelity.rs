@@ -159,6 +159,7 @@ impl FidelityTracker {
                 let k = base + mask.trailing_zeros() as usize;
                 let opened =
                     Self::transition(&mut pairs[k], &mut starts[k], &mut totals[k], at_us, value)
+                        // d3t-lint: allow(P001) -- the mask bit was set iff transition() returns Some
                         .expect("predicate said the state flips");
                 sink(k, item, opened);
                 mask &= mask - 1;

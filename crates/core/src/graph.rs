@@ -113,6 +113,7 @@ impl D3g {
         assert!(!child.is_source(), "the source cannot be a dependent");
         let (pi, ci, ii) = (parent.index(), child.index(), item.index());
         assert!(self.parent[ii][ci].is_none(), "{child} already has a parent for {item}");
+        // d3t-lint: allow(P001) -- documented `# Panics` contract of add_edge (caller misuse, not a run-time path)
         let pc = self.effective[pi][ii].unwrap_or_else(|| panic!("{parent} does not hold {item}"));
         assert!(
             pc.at_least_as_stringent_as(c),

@@ -351,7 +351,7 @@ impl<'a, D: OverlayDelays> LelaBuilder<'a, D> {
         // Preference factors (smaller = more preferred).
         let mut prefs: Vec<(NodeIdx, f64)> =
             candidates.iter().map(|&p| (p, self.preference(p, q, wanted))).collect();
-        prefs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        prefs.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         let min_pref = prefs[0].1;
         let band_limit = min_pref * (1.0 + self.cfg.pref_band_pct / 100.0);
         let band: Vec<NodeIdx> =

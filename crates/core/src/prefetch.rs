@@ -6,6 +6,8 @@
 #[inline(always)]
 pub(crate) fn read<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint with no memory-access
+    // semantics; it never faults, even on null or dangling pointers.
     unsafe {
         core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
     }

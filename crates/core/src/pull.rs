@@ -136,6 +136,7 @@ pub fn simulate_pull(trace: &Trace, c: Coherency, policy: &TtrPolicy, rtt_ms: f6
     if ticks.len() < 2 {
         return PullOutcome { loss_pct: 0.0, polls: 0, useful_polls: 0 };
     }
+    // d3t-lint: allow(P001) -- `ticks.len() < 2` returned early just above
     let end_ms = ticks.last().unwrap().at_ms as f64;
     let mut cached = ticks[0].value;
     let mut ttr = policy.initial_ttr();

@@ -1,0 +1,356 @@
+//! A token-level Rust lexer — just enough syntax to lint safely.
+//!
+//! The rules in this crate match identifier and punctuation patterns
+//! (`HashMap`, `partial_cmp(..).unwrap()`, `unsafe` …). Doing that on raw
+//! text would fire inside comments, strings, and doc examples, so this
+//! lexer splits source into real tokens first. It understands everything
+//! that can *hide* code-looking text:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * cooked strings with escapes, raw strings with any number of `#`s,
+//!   byte/C-string prefixes (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`);
+//! * char literals (incl. escapes) vs lifetimes (`'a`, `'_`, labels);
+//! * raw identifiers (`r#match`);
+//! * numeric literals incl. float dots, exponents, and suffixes (enough
+//!   to never swallow a quote or comment delimiter).
+//!
+//! It does **not** parse: no expression trees, no macro expansion. Every
+//! token carries its 1-based line and byte column, so diagnostics anchor
+//! exactly. Comments are kept in the stream — the framework reads them
+//! for `SAFETY:` audits and `d3t-lint: allow(...)` pragmas.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'_`, `'outer`).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// String, raw string, byte string, C string, or char literal.
+    Literal,
+    /// One punctuation byte (`:`, `.`, `!`, `(`, …).
+    Punct,
+    /// Line or block comment, delimiters included.
+    Comment,
+}
+
+/// One lexed token: kind, exact source text, and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'s> {
+    pub kind: TokKind,
+    pub text: &'s str,
+    pub line: u32,
+    /// 1-based **byte** column of the token's first character.
+    pub col: u32,
+}
+
+/// Lexes `src` into a token stream (comments included, whitespace
+/// dropped). Never fails: unterminated constructs extend to end of file.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, toks: Vec::new() };
+    lx.run();
+    lx.toks
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok<'s>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, tracking line/col.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.toks.push(Tok { kind, text: &self.src[start..self.pos], line, col });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.emit(TokKind::Comment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.emit(TokKind::Comment, start, line, col);
+                }
+                b'"' => {
+                    self.cooked_string();
+                    self.emit(TokKind::Literal, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.quote();
+                    self.emit(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokKind::Number, start, line, col);
+                }
+                c if is_ident_start(c) => {
+                    let kind = self.ident_or_prefixed_literal();
+                    self.emit(kind, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+    }
+
+    /// `/* … */` with nesting; unterminated runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `"…"` with `\` escapes; the opening quote is at the cursor.
+    fn cooked_string(&mut self) {
+        self.bump(); // opening `"`
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string body after the prefix: `n` hashes then `"`, terminated
+    /// by `"` followed by `n` hashes. The cursor sits on the first hash
+    /// (or the quote when `n == 0`).
+    fn raw_string(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut k = 0;
+                    while k < n && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        k += 1;
+                    }
+                    if k == n {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    /// `'` — lifetime/label or char literal.
+    fn quote(&mut self) -> TokKind {
+        // `'a` followed by anything but a closing quote is a lifetime;
+        // `'a'`, `'\n'`, `'\u{41}'` are char literals.
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some(b'\'') {
+            self.bump(); // `'`
+            while self.peek(0).is_some_and(is_ident_cont) {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        self.bump(); // `'`
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        TokKind::Literal
+    }
+
+    /// Number: `0x…`, `1_000u64`, `2.5`, `1e-3`, `2.5e+7f64`. Range dots
+    /// (`0..n`) are left alone. Good enough to never swallow a delimiter.
+    fn number(&mut self) {
+        self.eat_alnum_run();
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            self.bump(); // `.`
+            self.eat_alnum_run();
+        }
+        // `1e-3` / `2.5E+7`: the alnum run stopped at the sign.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.pos > 0
+            && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+        {
+            self.bump();
+            self.eat_alnum_run();
+        }
+    }
+
+    fn eat_alnum_run(&mut self) {
+        while self.peek(0).is_some_and(is_ident_cont) {
+            self.bump();
+        }
+    }
+
+    /// Identifier, raw identifier, or a prefixed string literal
+    /// (`r"…"`, `br#"…"#`, `b"…"`, `c"…"`, `cr##"…"##`).
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_cont) {
+            self.bump();
+        }
+        let id = &self.src[start..self.pos];
+        let raw_prefix = matches!(id, "r" | "br" | "cr");
+        let cooked_prefix = matches!(id, "b" | "c");
+        match self.peek(0) {
+            Some(b'"') if raw_prefix => {
+                self.raw_string(0);
+                TokKind::Literal
+            }
+            Some(b'"') if cooked_prefix => {
+                self.cooked_string();
+                TokKind::Literal
+            }
+            Some(b'#') if raw_prefix => {
+                let mut n = 0;
+                while self.peek(n) == Some(b'#') {
+                    n += 1;
+                }
+                if self.peek(n) == Some(b'"') {
+                    self.raw_string(n);
+                    TokKind::Literal
+                } else if id == "r" && n == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier `r#match`.
+                    self.bump(); // `#`
+                    while self.peek(0).is_some_and(is_ident_cont) {
+                        self.bump();
+                    }
+                    TokKind::Ident
+                } else {
+                    TokKind::Ident
+                }
+            }
+            _ => TokKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src).iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap bytes";
+            let d = "escaped \" HashMap still string";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap"), "{ids:?}");
+        assert!(ids.contains(&"let"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        // The quote char literal must not have opened a string.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "n"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_hashed_raw_strings() {
+        let toks = lex(r###"let r#match = r##"quote " and "# inside"##; let after = 1;"###);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "after"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let ids = idents("for i in 0..n { x.0.total_cmp(&y) } let f = 1e-3f64;");
+        assert!(ids.contains(&"n"));
+        assert!(ids.contains(&"total_cmp"));
+        let toks = lex("let f = 1e-3f64;");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Number && t.text == "1e-3f64"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panicking() {
+        for src in ["\"abc", "/* open", "r#\"open", "'\\", "b\"x"] {
+            let _ = lex(src);
+        }
+    }
+}

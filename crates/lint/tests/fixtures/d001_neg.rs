@@ -1,0 +1,24 @@
+//! Fixture: the word HashMap in a doc comment must NOT fire D001.
+
+/* Nor in a block comment: HashMap::new() — nested /* HashSet */ too. */
+
+pub const DOC: &str = "uses HashMap internally";
+pub const RAW: &str = r#"a "HashMap" and a HashSet in a raw string"#;
+
+use std::collections::BTreeMap;
+
+pub fn index(keys: &[u64]) -> BTreeMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, k)| (*k, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: D001 must fire on HashMap/HashSet in det-crate lib code.
+use std::collections::HashMap;
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(*k, i);
+    }
+    m
+}

@@ -1,0 +1,7 @@
+//! Fixture: talking about Instant and SystemTime in docs is fine.
+
+pub const HELP: &str = "never call Instant::now() in sim code";
+
+pub fn virtual_now_us(ticks: u64) -> u64 {
+    ticks * 10
+}

@@ -1,0 +1,9 @@
+// Fixture: D002 must fire on wall-clock reads anywhere outside the
+// allowlist, test code included.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

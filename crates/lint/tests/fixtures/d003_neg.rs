@@ -1,0 +1,13 @@
+//! Fixture: thread::spawn and std::sync::Mutex are banned; this file
+//! only mentions them in comments and strings, which must NOT fire.
+
+pub const WHY: &str = "determinism forbids std::sync primitives like Mutex";
+
+pub struct MySyncState {
+    pub in_sync: bool,
+}
+
+pub fn spawn_session(id: u64) -> MySyncState {
+    let _ = id;
+    MySyncState { in_sync: true }
+}

@@ -1,0 +1,7 @@
+// Fixture: D003 must fire on ad-hoc threading and std::sync primitives.
+pub fn fan_out() -> u64 {
+    let h = std::thread::spawn(|| 1u64);
+    let lock = std::sync::Mutex::new(0u64);
+    let _ = lock;
+    h.join().unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//! Fixture: seeded RNG only; thread_rng is banned (mentioning it in a
+//! doc comment or a string is fine).
+
+pub const WHY: &str = "thread_rng would make runs non-replayable";
+
+pub fn roll(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

@@ -1,0 +1,5 @@
+// Fixture: D004 must fire on entropy-seeded RNG construction.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

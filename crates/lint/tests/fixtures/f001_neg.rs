@@ -1,0 +1,10 @@
+//! Fixture: total_cmp sorts and non-unwrapped partial_cmp must NOT
+//! fire F001.
+
+pub fn sort_scores(xs: &mut [(u64, f64)]) {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+}
+
+pub fn strictly_less(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(core::cmp::Ordering::Less))
+}

@@ -1,0 +1,5 @@
+// Fixture: F001 must fire on a partial_cmp(..).unwrap() sort key.
+pub fn sort_scores(xs: &mut [(u64, f64)]) {
+    // d3t-lint: allow(P001) -- fixture isolates the F001 pattern
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}

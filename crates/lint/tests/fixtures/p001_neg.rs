@@ -1,0 +1,16 @@
+//! Fixture: P001 must NOT fire on strings, doc mentions, or in-file
+//! test modules.
+
+pub const NOTE: &str = "calling .unwrap() here would be a P001";
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

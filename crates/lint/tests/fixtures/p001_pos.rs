@@ -1,0 +1,14 @@
+// Fixture: P001 must fire on unwrap()/expect()/panic! in det lib code.
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    *xs.get(i).expect("index in range")
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}

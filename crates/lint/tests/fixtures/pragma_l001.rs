@@ -1,0 +1,10 @@
+// Fixture: malformed pragmas fire L001 and do NOT suppress.
+pub fn head(xs: &[u64]) -> u64 {
+    // d3t-lint: allow(P001)
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    // d3t-lint: allow(Z999) -- no such code
+    *xs.last().unwrap_or(&0)
+}

@@ -1,0 +1,6 @@
+// Fixture: a well-formed pragma with a reason suppresses its code on
+// the next line — no diagnostics expected.
+pub fn head(xs: &[u64]) -> u64 {
+    // d3t-lint: allow(P001) -- caller contract: xs is non-empty
+    *xs.first().unwrap()
+}

@@ -1,0 +1,18 @@
+//! Fixture: unsafe justified by a `// SAFETY:` comment must NOT fire,
+//! including when an attribute sits between the comment and the block.
+
+pub fn peek(p: &u64) -> u64 {
+    let raw = p as *const u64;
+    // SAFETY: `raw` was just derived from a live shared reference, so
+    // it is valid for reads for the duration of this call.
+    unsafe { *raw }
+}
+
+pub fn hinted(p: &u64) -> u64 {
+    // SAFETY: reference-derived pointer; valid and aligned by construction.
+    #[cfg(target_arch = "x86_64")]
+    let v = unsafe { *(p as *const u64) };
+    #[cfg(not(target_arch = "x86_64"))]
+    let v = *p;
+    v
+}

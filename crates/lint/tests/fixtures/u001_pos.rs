@@ -1,0 +1,7 @@
+// Fixture: U001 must fire on unsafe with no SAFETY comment in reach.
+//
+// (These filler lines push the header comments out of the
+// SAFETY_WINDOW_LINES reach of the unsafe token below.)
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -359,6 +359,7 @@ impl FaultState {
             self.cursor += 1;
             Some((t, FaultControl::Timeline(ev)))
         } else {
+            // d3t-lint: allow(P001) -- this branch is only taken after a successful repairs.peek()
             let Reverse((at, _, op)) = self.repairs.pop().expect("peeked above");
             Some((at, FaultControl::Repair(op)))
         }
@@ -506,6 +507,7 @@ impl Observer for FaultMonitor {
 
     fn on_violation_close(&mut self, at_us: u64, _repo: usize, _item: ItemId) {
         self.integrate_to(at_us);
+        // d3t-lint: allow(P001) -- the tracker emits open/close strictly paired per (item, repo)
         self.open_viol = self.open_viol.checked_sub(1).expect("close without open");
     }
 
@@ -524,6 +526,7 @@ impl Observer for FaultMonitor {
             }
             FaultObservation::Recover { node } => {
                 self.integrate_to(at_us);
+                // d3t-lint: allow(P001) -- the fault state machine never emits Recover for an up node
                 self.down = self.down.checked_sub(1).expect("recover without crash");
                 if let Some(i) = self
                     .incidents

@@ -64,6 +64,7 @@ impl Prepared {
             }
         };
         let initial_values: Vec<f64> =
+            // d3t-lint: allow(P001) -- generated traces always open with the initial-value tick
             traces.iter().map(|t| t.first().expect("non-empty trace").value).collect();
         let changes = merge_changes(&traces);
         let end_us = traces.iter().map(Trace::duration_ms).max().unwrap_or(0) * 1000;

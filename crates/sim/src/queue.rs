@@ -228,7 +228,10 @@ pub trait EventQueue<T: Copy> {
     fn with_capacity(capacity: usize) -> Self;
 
     /// Enqueues `item` at `at_us` µs with creation stamp `seq` (strictly
-    /// increasing across pushes, see the trait docs).
+    /// increasing across pushes, see the trait docs). Debug builds
+    /// assert the stamp contract on every push of both backends; release
+    /// builds rely on it silently, so a regression there shows up only
+    /// as reordered FIFO ties.
     fn push(&mut self, at_us: u64, seq: u64, item: T);
 
     /// Enqueues a whole send group: `events[k]` is pushed at creation
@@ -325,22 +328,66 @@ fn signed_seq(seq: u64) -> i64 {
     seq as i64
 }
 
+/// Debug-build enforcement of the push contract: creation stamps must be
+/// strictly increasing over a queue's lifetime (the property that lets
+/// the calendar tier drop the tie-breaker from its slots entirely — see
+/// the trait docs). Zero-sized and fully compiled out in release builds;
+/// the static half of the same contract is d3t-lint's job.
+#[derive(Default)]
+struct StampGuard {
+    #[cfg(debug_assertions)]
+    last: Option<u64>,
+}
+
+impl StampGuard {
+    /// Checks one pushed stamp.
+    #[inline]
+    fn check(&mut self, seq: u64) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.last.is_none_or(|last| seq > last),
+                "EventQueue push stamp regression: {seq} after {:?} \
+                 (contract: strictly increasing creation stamps)",
+                self.last
+            );
+            self.last = Some(seq);
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = seq;
+    }
+
+    /// Checks a batch stamped `seq0 .. seq0 + n`.
+    #[inline]
+    fn check_batch(&mut self, seq0: u64, n: usize) {
+        #[cfg(debug_assertions)]
+        if n > 0 {
+            self.check(seq0);
+            self.last = Some(seq0 + n as u64 - 1);
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (seq0, n);
+    }
+}
+
 /// The `BinaryHeap` backend — `O(log n)` per operation, distribution
 /// independent. The reference implementation the calendar queue is
 /// property-tested against.
 pub struct HeapQueue<T> {
     heap: BinaryHeap<Reverse<KeyedSlot<T>>>,
+    stamps: StampGuard,
 }
 
 impl<T: Copy> EventQueue<T> for HeapQueue<T> {
     const SLOT_BYTES: usize = std::mem::size_of::<Reverse<KeyedSlot<T>>>();
 
     fn with_capacity(capacity: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(capacity) }
+        Self { heap: BinaryHeap::with_capacity(capacity), stamps: StampGuard::default() }
     }
 
     #[inline]
     fn push(&mut self, at_us: u64, seq: u64, item: T) {
+        self.stamps.check(seq);
         self.heap.push(Reverse(KeyedSlot { at_us, seq: signed_seq(seq), item }));
     }
 
@@ -376,6 +423,7 @@ impl<T: Copy> EventQueue<T> for HeapQueue<T> {
         while n < max {
             match self.heap.peek() {
                 Some(Reverse(s)) if s.at_us < limit => {
+                    // d3t-lint: allow(P001) -- pop follows the successful peek in the match head
                     let Reverse(s) = self.heap.pop().expect("peeked heap entry");
                     out.push((s.at_us, s.item));
                     n += 1;
@@ -533,6 +581,8 @@ pub struct CalendarQueue<T> {
     /// one further year of the boundary — the signal that churn is
     /// bouncing off a too-short year.
     near_misses: u64,
+    /// Debug-only push-contract enforcement (zero-sized in release).
+    stamps: StampGuard,
 }
 
 /// End of the year that starts at `anchor_us`: `nb` days rounded to the
@@ -587,6 +637,20 @@ impl<T: Copy> CalendarQueue<T> {
     fn insert_cal(&mut self, slot: CalSlot<T>) {
         let b = self.insert_plain(slot);
         self.check_overload(b);
+    }
+
+    /// One push with the stamp guard already satisfied (scalar `push`,
+    /// and `push_batch`'s fanout-1 fast path after its batch check).
+    #[inline]
+    fn insert_unchecked(&mut self, at_us: u64, seq: u64, item: T) {
+        if self.accepts(at_us) {
+            self.insert_cal(CalSlot { at_us, item });
+        } else {
+            if at_us - self.boundary_us < self.year_span() {
+                self.near_misses += 1;
+            }
+            self.overflow.push(Reverse(KeyedSlot { at_us, seq: signed_seq(seq), item }));
+        }
     }
 
     /// Shrinks the day width 4× when bucket `b` has collected [`OVERLOAD`]
@@ -725,6 +789,7 @@ impl<T: Copy> CalendarQueue<T> {
         }
         self.pops_since_advance = 0;
         self.near_misses = 0;
+        // d3t-lint: allow(P001) -- advance_year returns early on empty overflow; rebuild only demotes into it
         let anchor = self.overflow.peek().expect("overflow emptied by rebuild").0.at_us;
         self.current_day = anchor >> self.width_log2;
         let nominal_end = year_end(anchor, self.width_log2, self.nb_log2);
@@ -743,6 +808,7 @@ impl<T: Copy> CalendarQueue<T> {
                 self.boundary_us = t.at_us;
                 break;
             }
+            // d3t-lint: allow(P001) -- pop follows the successful peek in the loop head
             let Reverse(slot) = self.overflow.pop().expect("peeked overflow entry");
             self.insert_cal(CalSlot { at_us: slot.at_us, item: slot.item });
         }
@@ -781,6 +847,7 @@ impl<T: Copy> CalendarQueue<T> {
                 }
             }
         }
+        // d3t-lint: allow(P001) -- every caller establishes cal_len > 0 before locate_min
         let (b, at_us) = best.expect("locate_min on an empty calendar");
         self.current_day = at_us >> self.width_log2;
         b
@@ -808,26 +875,22 @@ impl<T: Copy> EventQueue<T> for CalendarQueue<T> {
             demote_floor: 0,
             pops_since_advance: 0,
             near_misses: 0,
+            stamps: StampGuard::default(),
         }
     }
 
     #[inline]
     fn push(&mut self, at_us: u64, seq: u64, item: T) {
-        if self.accepts(at_us) {
-            self.insert_cal(CalSlot { at_us, item });
-        } else {
-            if at_us - self.boundary_us < self.year_span() {
-                self.near_misses += 1;
-            }
-            self.overflow.push(Reverse(KeyedSlot { at_us, seq: signed_seq(seq), item }));
-        }
+        self.stamps.check(seq);
+        self.insert_unchecked(at_us, seq, item);
     }
 
     fn push_batch(&mut self, seq0: u64, events: &[(u64, T)]) {
+        self.stamps.check_batch(seq0, events.len());
         // Fanout-1 sends dominate tree dissemination; skip the grouping
         // scan for them.
         if let [(at_us, item)] = *events {
-            self.push(at_us, seq0, item);
+            self.insert_unchecked(at_us, seq0, item);
             return;
         }
         let mut k = 0;
@@ -901,6 +964,7 @@ impl<T: Copy> EventQueue<T> for CalendarQueue<T> {
         // `locate_min` persists the cursor advance, so repeated failed
         // probes re-walk nothing: the next probe starts at the min's day.
         let b = self.locate_min();
+        // d3t-lint: allow(P001) -- locate_min returns the index of a non-empty bucket
         let front = self.buckets[b].front().expect("located bucket is non-empty");
         if front.at_us >= cap_us {
             return None;
@@ -1034,6 +1098,50 @@ mod tests {
     #[test]
     fn all_equal_times_resolve_in_creation_order() {
         assert_sorted_drain(&vec![42u64; 500]);
+    }
+
+    // The dynamic counterpart of the push contract (the static half is
+    // d3t-lint's job): debug builds must catch a regressing creation
+    // stamp on either backend, through both the scalar and the batched
+    // push paths. Release builds compile the guard out, so these only
+    // exist under debug_assertions (which is how `cargo test` runs).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stamp regression")]
+    fn calendar_catches_regressing_stamp() {
+        let mut q = CalendarQueue::with_capacity(8);
+        q.push(10, 5, 0u64);
+        q.push(11, 5, 1u64); // equal stamp: not strictly increasing
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stamp regression")]
+    fn heap_catches_regressing_stamp() {
+        let mut q = HeapQueue::with_capacity(8);
+        q.push(10, 7, 0u64);
+        q.push(9, 3, 1u64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stamp regression")]
+    fn push_batch_catches_stamp_overlapping_earlier_push() {
+        let mut q = CalendarQueue::with_capacity(8);
+        q.push(10, 9, 0u64);
+        // seq0 = 8 < 9: the batch's first stamp regresses past the
+        // scalar push even though the batch itself is internally ordered.
+        q.push_batch(8, &[(20, 1u64), (21, 2u64)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn monotone_stamps_pass_the_guard_across_push_shapes() {
+        let mut q = CalendarQueue::with_capacity(8);
+        q.push(10, 0, 0u64);
+        q.push_batch(1, &[(20, 1u64), (5, 2u64)]); // times may regress; stamps may not
+        q.push(30, 3, 3u64);
+        assert_eq!(q.len(), 4);
     }
 
     #[test]

@@ -299,6 +299,7 @@ fn cycles() -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
         // SAFETY: RDTSC is unprivileged and side-effect-free.
+        // d3t-lint: allow(D002) -- relative per-phase cycle attribution only; never a sim timebase
         unsafe { core::arch::x86_64::_rdtsc() }
     }
     #[cfg(not(target_arch = "x86_64"))]
