@@ -19,7 +19,7 @@ echo "== d3t-lint (determinism & safety rule pack) =="
 lint_out=$(cargo run --release -q -p d3t-lint -- --workspace --json)
 echo "$lint_out" | grep '^LINT files=.* rules=.* violations=0'
 echo "$lint_out" | grep -v '^LINT' > BENCH_lint.json
-test "$(grep -c '"code": "' BENCH_lint.json)" -ge 7
+test "$(grep -c '"code": "' BENCH_lint.json)" -ge 9
 
 echo "== build (release) =="
 cargo build --release
@@ -72,9 +72,29 @@ echo "$phase_out" | grep '^PHASE'
 test "$(echo "$phase_out" | grep -c '^PHASE name=.* events=.* wall_us=')" -eq 4
 echo "$phase_out" | grep -v '^PHASE' > BENCH_phases.json
 test "$(grep -c '"phase": "\(queue\|process\|fidelity\|transmit\)"' BENCH_phases.json)" -eq 4
+# The sharded-engine scale-out smoke: one 5k-repository prepared input
+# driven at 1, 2 and 4 shards. The hard gate is determinism, not speed:
+# every SHARD line must carry the *same* report_hash (the sharded drive
+# is bit-identical to the sequential oracle on any machine). The >1.5×
+# speedup acceptance at 4 shards only means anything with 4+ cores, so
+# it is enforced unless D3T_SKIP_PERF_GATE is set or the runner has
+# fewer than 4 CPUs. The JSON document lands in BENCH_shard.json.
+shard_out=$(cargo run --release -q -p d3t-experiments --bin repro -- \
+    scale-out --repos 5000 --items 20 --ticks 120)
+echo "$shard_out" | grep '^SHARD'
+test "$(echo "$shard_out" | grep -c '^SHARD shards=.* events=.* wall_us=.* events_per_sec=.* speedup=.* report_hash=0x')" -eq 3
+test "$(echo "$shard_out" | grep -o 'report_hash=0x[0-9a-f]*' | sort -u | wc -l)" -eq 1
+if [ -z "${D3T_SKIP_PERF_GATE:-}" ] && [ "$(nproc)" -ge 4 ]; then
+    speedup=$(echo "$shard_out" | grep '^SHARD shards=4' | grep -o 'speedup=[0-9.]*' | cut -d= -f2)
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' \
+        || { echo "4-shard speedup $speedup below the 1.5x gate"; exit 1; }
+fi
+echo "$shard_out" | grep -v '^SHARD' > BENCH_shard.json
+test "$(grep -c '"shards": [124],' BENCH_shard.json)" -eq 3
 cat BENCH_queue.json
 cat BENCH_phases.json
 cat BENCH_resilience.json
 cat BENCH_lint.json
+cat BENCH_shard.json
 
 echo "CI green."

@@ -106,6 +106,10 @@ impl EventQueue<EventKind> for Recorder {
         TRACE.with(|t| t.borrow_mut().1 += n as u32);
         n
     }
+    fn peek_at(&mut self) -> Option<u64> {
+        // Non-consuming probe: nothing to record.
+        self.0.peek_at()
+    }
     fn len(&self) -> usize {
         self.0.len()
     }

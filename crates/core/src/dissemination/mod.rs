@@ -133,6 +133,16 @@ pub struct Forwarding {
     pub checks: u64,
 }
 
+/// Flag bit a sharded caller sets in [`RunTouch::idx`] to mark a
+/// **mirror** touch: a delivery replayed on a replica that does not own
+/// the receiving node. [`Disseminator::on_run_into`] then applies only
+/// the state write ([`Disseminator::record_at`]'s row + parent-edge
+/// update — what a later decision *at an ancestor the replica does own*
+/// reads) and makes no forwarding decision for it. The bit lives in the
+/// staging index, so mirror-carrying runs must be staged in pop order,
+/// never sorted by [`RunTouch::group_key`].
+pub const MIRROR_TOUCH_BIT: u32 = 1 << 31;
+
 /// One staged event of a reorder-free run — the unit
 /// [`Disseminator::on_run_into`] and the fidelity tracker's
 /// run sink consume. A touch is either a source tick (`node ==
@@ -142,7 +152,8 @@ pub struct Forwarding {
 #[derive(Debug, Clone, Copy)]
 pub struct RunTouch {
     /// Position of the event in the run's original (pop) order — what
-    /// the caller scatters results back through.
+    /// the caller scatters results back through. The top bit is
+    /// reserved: [`MIRROR_TOUCH_BIT`].
     pub idx: u32,
     /// Receiving node; [`SOURCE`] marks a source tick.
     pub node: NodeIdx,
@@ -443,6 +454,19 @@ impl Disseminator {
         }
     }
 
+    /// Replays a delivery's state write on a **replica** disseminator
+    /// that did not process the delivery itself — the sharded engine's
+    /// barrier-time reconciliation primitive (value logs, and source
+    /// ticks on non-owning shards). Identical to what processing the
+    /// delivery would have written: the receiver-indexed row record and
+    /// the per-edge `last_sent` mirror in the parent's CSR run. Makes
+    /// no forwarding decision and touches no liveness or adoption
+    /// state.
+    #[inline]
+    pub fn record_replica(&mut self, item: ItemId, node: NodeIdx, value: f64) {
+        self.record(item, node, value);
+    }
+
     /// CSR bounds of `node`'s row for `item`.
     #[inline]
     fn row_range(&self, node: NodeIdx, item: ItemId) -> std::ops::Range<usize> {
@@ -691,6 +715,18 @@ impl Disseminator {
                 // d3t-lint: allow(P001) -- this branch pushed into out.updates a few lines above
                 let u = *out.updates.last().expect("source arm pushed its update");
                 out.source_checks += self.adopted_into(SOURCE, u, &mut out.to);
+            } else if t.idx & MIRROR_TOUCH_BIT != 0 {
+                // A mirror delivery: replay only the state write, so
+                // this replica's row and parent-edge copy of the
+                // receiver match the owning shard's (what a later
+                // decision at an owned ancestor reads). The owning
+                // shard already made and routed the forwarding
+                // decision, so nothing is decided here: the span pushed
+                // above stays empty, and the adoption sweep is skipped.
+                let row = t.item.index() * self.n_nodes + t.node.index();
+                let meta = self.rows[row];
+                self.record_at(row, meta.parent_edge, t.value);
+                out.updates.push(t.update());
             } else {
                 // Mirror of `on_repo_update_into` minus the liveness
                 // branch (filtered at gather, see above).

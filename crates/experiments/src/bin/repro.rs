@@ -12,6 +12,7 @@
 //! repro queue-json                # per-backend queue perf as one JSON doc
 //! repro phases                    # per-phase drain telemetry, PHASE lines + JSON
 //! repro resilience                # fault sweep, RESILIENCE lines + JSON
+//! repro scale-out                 # sharded drive at 1/2/4 shards, SHARD lines + JSON
 //! repro list                      # enumerate experiment ids
 //! ```
 //!
@@ -47,6 +48,17 @@
 //!
 //! ```text
 //! PHASE name=process events=243210 wall_us=93011
+//! ```
+//!
+//! `scale-out` drives **one** prepared input through the sharded engine
+//! at 1, 2 and 4 shards — one `SHARD` line per count carrying both the
+//! timing and the report digest, plus a JSON document `ci.sh` lands in
+//! `BENCH_shard.json`. The digests must agree across shard counts (the
+//! determinism gate CI always enforces); the speedup column is the perf
+//! acceptance, gated only on multi-core machines:
+//!
+//! ```text
+//! SHARD shards=4 events=243210 wall_us=67218 events_per_sec=3618224 speedup=2.69 report_hash=0x…
 //! ```
 //!
 //! Requested experiments fan out over the parallel sweep runner
@@ -295,6 +307,71 @@ fn resilience_json(scale: &Scale) {
     println!("}}");
 }
 
+/// FNV-1a over the full `Debug` rendering of a run report — every
+/// float bit pattern, counter and pair loss lands in the digest, so
+/// two shard counts agreeing on the hash agree on the whole report.
+fn report_hash(report: &impl std::fmt::Debug) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{report:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The sharded-engine scale-out cell: one prepared input, driven at
+/// 1, 2 and 4 shards, emitting one greppable `SHARD` line per count
+/// plus a JSON document `ci.sh` lands in `BENCH_shard.json`.
+///
+/// The `report_hash` field is the determinism gate: every shard count
+/// must agree on it (the sharded drive is bit-identical to the
+/// sequential oracle), and that gate holds on any machine. `speedup`
+/// is informational on shared CI runners — the perf acceptance
+/// (>1.5× at 4 shards, 10k+ repositories) is asserted by `ci.sh`
+/// only where `D3T_SKIP_PERF_GATE` is unset.
+fn scale_out(scale: &Scale) {
+    let mut prepared = scale.prepared();
+    let mut cells: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
+    let mut base_eps = 0f64;
+    for n_shards in [1usize, 2, 4] {
+        prepared.set_shards(n_shards);
+        let start = Instant::now();
+        let report = prepared.run();
+        let wall_us = start.elapsed().as_micros().max(1) as u64;
+        let events = report.metrics.events;
+        let events_per_sec = (events as f64 / (wall_us as f64 / 1e6)).round() as u64;
+        if n_shards == 1 {
+            base_eps = events_per_sec as f64;
+        }
+        let speedup_x100 = (events_per_sec as f64 / base_eps * 100.0).round() as u64;
+        let hash = report_hash(&report);
+        println!(
+            "SHARD shards={n_shards} events={events} wall_us={wall_us} \
+             events_per_sec={events_per_sec} speedup={}.{:02} report_hash={hash:#018x}",
+            speedup_x100 / 100,
+            speedup_x100 % 100,
+        );
+        cells.push((n_shards, events, wall_us, events_per_sec, hash));
+    }
+    println!("{{");
+    println!(
+        "  \"scale\": {{\"repos\": {}, \"items\": {}, \"ticks\": {}, \"seed\": {}}},",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    println!("  \"shards\": [");
+    for (i, (n, events, wall_us, eps, hash)) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        println!(
+            "    {{\"shards\": {n}, \"events\": {events}, \"wall_us\": {wall_us}, \
+             \"events_per_sec\": {eps}, \"speedup\": {:.2}, \"report_hash\": \"{hash:#018x}\"}}\
+             {comma}",
+            *eps as f64 / base_eps,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
 /// One timed base-config run per protocol; the `FILTER` lines CI greps
 /// for check-path throughput tracking (the fig8 flood baseline and the
 /// fig11 centralized/distributed comparison at matched workloads).
@@ -330,6 +407,7 @@ fn main() {
     let mut run_queue_json = false;
     let mut run_phases = false;
     let mut run_resilience = false;
+    let mut run_scale_out = false;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -351,6 +429,7 @@ fn main() {
             "queue-json" => run_queue_json = true,
             "phases" => run_phases = true,
             "resilience" => run_resilience = true,
+            "scale-out" => run_scale_out = true,
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -369,6 +448,10 @@ fn main() {
                 // Keep the paper's 7-nodes-per-repository fabric ratio.
                 scale.n_network_nodes = scale.n_repos * 7;
             }
+            "--items" => {
+                let v = iter.next().expect("--items needs a value");
+                scale.n_items = v.parse().expect("--items must be an integer");
+            }
             "list" => {
                 for id in IDS {
                     println!("{id}");
@@ -386,11 +469,11 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke || run_filter || run_queue_json || run_phases || run_resilience {
+    if run_smoke || run_filter || run_queue_json || run_phases || run_resilience || run_scale_out {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke`/`filter`/`queue-json`/`phases`/`resilience` run timed cells and cannot \
-                 be combined with experiment ids"
+                "`smoke`/`filter`/`queue-json`/`phases`/`resilience`/`scale-out` run timed cells \
+                 and cannot be combined with experiment ids"
             );
             std::process::exit(2);
         }
@@ -408,6 +491,9 @@ fn main() {
         }
         if run_resilience {
             resilience_json(&scale);
+        }
+        if run_scale_out {
+            scale_out(&scale);
         }
         return;
     }

@@ -1,0 +1,17 @@
+//! Fixture: queue pushes inside `route_*` fns are the sanctioned
+//! exchange sites, and pushes into non-queue collections (outboxes,
+//! scratch vectors) are never S001.
+
+pub fn route_entry(queue: &mut Vec<(u64, u64)>, at: u64, g: u64) {
+    queue.push((at, g));
+}
+
+pub fn route_outboxes(queues: &mut [Vec<(u64, u64)>], at: u64) {
+    for (g, queue) in queues.iter_mut().enumerate() {
+        queue.push((at, g as u64));
+    }
+}
+
+pub fn stage(outbox: &mut Vec<u64>, v: u64) {
+    outbox.push(v);
+}

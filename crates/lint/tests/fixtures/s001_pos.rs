@@ -1,0 +1,13 @@
+// Fixture: S001 must fire on a direct shard-queue push outside the
+// route_* exchange functions (both push and push_batch forms).
+pub fn drain_step(queue: &mut Vec<(u64, u64)>, at: u64, g: u64) {
+    queue.push((at, g));
+}
+
+pub struct Shard {
+    pub queue_hot: Vec<u64>,
+}
+
+pub fn reinject(shard: &mut Shard, at: u64) {
+    shard.queue_hot.push(at);
+}

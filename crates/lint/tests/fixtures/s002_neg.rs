@@ -1,0 +1,13 @@
+//! Fixture: plain owned per-shard state is not S002 — the rule bans
+//! interior mutability and `static mut`, not ordinary fields (the sync
+//! primitives themselves are D003's business, suppressed by allowlist
+//! on the real shard runner).
+
+pub struct ShardState {
+    pub cursor: usize,
+    pub statics: Vec<u64>,
+}
+
+pub fn bump(state: &mut ShardState) {
+    state.cursor += 1;
+}

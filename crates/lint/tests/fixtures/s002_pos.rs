@@ -1,0 +1,7 @@
+// Fixture: S002 must fire on shared-mutable shard state — interior
+// mutability and static mut alike.
+pub static mut EPOCH_COUNT: u64 = 0;
+
+pub fn share(v: u64) -> std::cell::RefCell<u64> {
+    std::cell::RefCell::new(v)
+}

@@ -14,6 +14,9 @@
 //!   ([`apsp::OverlayApsp`]: parallel per-source Dijkstra over CSR,
 //!   computing only the rows the overlay queries), with Floyd–Warshall
 //!   kept as the property-test oracle;
+//! * [`partition`] — deterministic weighted partitioning over CSR
+//!   (seeded BFS region growth + label-propagation refinement),
+//!   the cut-minimizer behind the simulator's sharded engine;
 //! * [`placement`] — choosing which nodes are the source, repositories,
 //!   and routers;
 //! * [`network`] — the assembled [`network::PhysicalNetwork`] facade the
@@ -31,6 +34,7 @@
 pub mod apsp;
 pub mod network;
 pub mod pareto;
+pub mod partition;
 pub mod placement;
 pub mod topology;
 

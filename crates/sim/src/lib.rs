@@ -141,6 +141,7 @@ pub mod prepared;
 pub mod queue;
 pub mod report;
 pub mod session;
+pub(crate) mod shard;
 
 pub use config::{SimConfig, TreeStrategy};
 pub use dynamics::{Dynamic, DynamicError};

@@ -85,8 +85,30 @@ impl Prepared {
     /// scheduler backend the configuration selects (the selection goes
     /// through [`QueueBackend::dispatch`](crate::queue::QueueBackend),
     /// the one place backends become types). Reports are backend
-    /// independent (bit-identical) by construction.
+    /// independent (bit-identical) by construction. Configurations with
+    /// `n_shards > 1` drive the conservative parallel engine
+    /// (`crate::shard`); its report is bit-identical to the sequential
+    /// drive and deterministic for a fixed `(seed, n_shards)`.
     pub fn run(&self) -> RunReport {
+        if self.cfg.n_shards > 1 {
+            return crate::shard::run_sharded(self);
+        }
+        self.run_unsharded()
+    }
+
+    /// Re-targets this prepared run at a different shard count without
+    /// re-deriving anything (`n_shards` is a drive-time knob: the
+    /// network, traces, workload and overlay are shard-independent).
+    /// The scale-out harness uses this to compare shard counts over
+    /// bit-identical inputs.
+    pub fn set_shards(&mut self, n_shards: usize) {
+        self.cfg.n_shards = n_shards.max(1);
+    }
+
+    /// The sequential (single-shard) drive behind [`Prepared::run`] —
+    /// also the fallback the sharded engine takes for configurations it
+    /// cannot preserve (lossy links, zero lookahead).
+    pub(crate) fn run_unsharded(&self) -> RunReport {
         struct Run<'a>(&'a Prepared);
         impl QueueVisitor<EventKind> for Run<'_> {
             type Out = RunReport;

@@ -134,25 +134,45 @@
 //! (only an advance, which migrates immediately, may raise the boundary),
 //! which is what keeps the cross-tier ordering invariant airtight.
 //!
-//! # Measured numbers and the backend crossover
+//! # Measured shape and the backend crossover
 //!
-//! At the paper-scale whole run (600 repos / 100 items / 10k ticks,
-//! 1-core container, `engine_throughput` bench) the slim-slot calendar
-//! sustains ~7.4–7.7 M events/s moving ~47.6 slot bytes per event
-//! (PR 4's seq-carrying 40-byte slots moved ~80 bytes; absolute rates
-//! drift ~20% between PRs with shared-host load, so cross-PR deltas are
-//! judged against the same-process scalar oracle — see the bench), and
-//! replays the recorded arrival trace at ~56 M queue ops/s vs the
-//! heap's ~45 M. Because the engine now *streams* its pre-seeded
-//! source changes instead of enqueueing them (see `d3t_sim::engine`),
-//! the pending set is only the in-flight arrivals — shallow enough that
-//! the heap fallback is competitive on the whole run (its `log n` is
-//! short and its array cache-resident), with the calendar a few percent
-//! ahead. The calendar's structural lead is in
+//! Absolute rates on the shared CI host drift ~20% between PRs, so
+//! since the PR 6 re-anchor every throughput claim here is *relative to
+//! the same-process scalar oracle* — the form `engine_throughput`
+//! actually gates on (batched calendar within 15% of the sealed
+//! `Engine::run`, plus a coarse absolute floor). At the paper-scale
+//! whole run the slim-slot calendar holds scalar-oracle parity while
+//! moving ~47.6 hot-tier slot bytes per event (PR 4's seq-carrying
+//! 40-byte slots moved ~80), and replays the recorded arrival trace
+//! ~1.25× faster than the heap. Because the engine *streams* its
+//! pre-seeded source changes instead of enqueueing them (see
+//! `d3t_sim::engine`), the pending set is only the in-flight arrivals —
+//! shallow enough that the heap fallback is competitive on the whole
+//! run (its `log n` is short and its array cache-resident), with the
+//! calendar a few percent ahead. The calendar's structural lead is in
 //! deep backlogs — the `event_queue` steady-state micro bench at
 //! 32 Ki–256 Ki pending (~2× and growing with depth), and congested
 //! simulation configurations whose CPU queues stack arrivals — and it
 //! stays the default.
+//!
+//! # Sharded drains: the epoch/lookahead bound
+//!
+//! The sharded engine (`d3t_sim::shard`) runs one queue of this trait
+//! per shard. Its safety argument is the same window that licenses
+//! [`EventQueue::pop_run`]: any event an event at time `t` can cause
+//! lands at or after `t + W`, with lookahead
+//! `W = comp_delay + min_offdiag_link`. Each epoch the coordinator
+//! probes every shard queue's [`EventQueue::peek_at`] (and the shared
+//! source-change stream) for the global minimum `t_min`, then lets
+//! every shard drain independently below
+//! `T = min(t_min + W, next_fault_control)`: all events strictly below
+//! `T` are mutually reorder-free across shards, so the per-shard pop
+//! orders compose into a valid global order. Cross-shard sends stage in
+//! per-shard outboxes, are merged at the epoch barrier in global
+//! creation order, and are re-stamped from one run-wide counter —
+//! which is what preserves the strictly-increasing-stamp push contract
+//! on every shard queue (each queue receives an ascending subsequence
+//! of the merged stamp sequence).
 //!
 //! The heap also wins two structural niches: backlogs sitting at a
 //! handful of *identical* timestamps (no width separates ties), and pure
@@ -274,6 +294,15 @@ pub trait EventQueue<T: Copy> {
         max: usize,
         out: &mut Vec<(u64, T)>,
     ) -> usize;
+
+    /// The minimal pending `at_us`, without removing anything. Unlike a
+    /// failed [`EventQueue::pop_lt`] probe this must never migrate
+    /// events between a backend's internal tiers: it is the shard
+    /// coordinator's `t_min` probe, issued against every shard queue at
+    /// every epoch barrier, so it has to be cheap and strictly
+    /// non-structural. (Cursor advances that only memoize the search
+    /// position are fine.)
+    fn peek_at(&mut self) -> Option<u64>;
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -432,6 +461,11 @@ impl<T: Copy> EventQueue<T> for HeapQueue<T> {
             }
         }
         n
+    }
+
+    #[inline]
+    fn peek_at(&mut self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(s)| s.at_us)
     }
 
     fn len(&self) -> usize {
@@ -1041,6 +1075,22 @@ impl<T: Copy> EventQueue<T> for CalendarQueue<T> {
         n
     }
 
+    fn peek_at(&mut self) -> Option<u64> {
+        if self.cal_len == 0 {
+            // Deliberately no `advance_year`: a peek must not migrate
+            // overflow events into the calendar (the epoch coordinator
+            // probes every shard queue between drains, and a structural
+            // mutation per probe would churn the tiers for nothing).
+            return self.overflow.peek().map(|Reverse(s)| s.at_us);
+        }
+        // The tier invariant (calendar events < boundary ≤ overflow
+        // events) makes the calendar minimum the global minimum whenever
+        // the calendar tier is non-empty. `locate_min` only persists the
+        // cursor, which is a search memo, not a structural change.
+        let b = self.locate_min();
+        self.buckets[b].front().map(|s| s.at_us)
+    }
+
     fn len(&self) -> usize {
         self.cal_len + self.overflow.len()
     }
@@ -1077,6 +1127,41 @@ mod tests {
         // Payloads are creation stamps, so the strict (time, creation)
         // order is directly checkable on the output.
         assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn peek_at_reports_the_minimum_without_migrating_tiers() {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::with_capacity(4);
+        let mut heap: HeapQueue<u64> = HeapQueue::with_capacity(4);
+        assert_eq!(cal.peek_at(), None);
+        assert_eq!(heap.peek_at(), None);
+        // Far-future keys land in the overflow tier; the probe must
+        // report them without crossing the year boundary.
+        for (seq, &at) in [u64::MAX / 2, u64::MAX / 2 + 7, 3_000_000_000].iter().enumerate() {
+            cal.push(at, seq as u64, at);
+            heap.push(at, seq as u64, at);
+        }
+        assert_eq!(cal.cal_len, 0, "far-future pushes stay in overflow");
+        assert_eq!(cal.peek_at(), Some(3_000_000_000));
+        assert_eq!(cal.cal_len, 0, "peek_at must not migrate tiers");
+        assert_eq!(heap.peek_at(), Some(3_000_000_000));
+        // A near key lands in the calendar tier and becomes the head.
+        cal.push(100, 3, 100);
+        heap.push(100, 3, 100);
+        assert_eq!(cal.cal_len, 1);
+        assert_eq!(cal.peek_at(), Some(100));
+        assert_eq!(heap.peek_at(), Some(100));
+        // The probe agrees with the pop head through a full drain.
+        loop {
+            let want = cal.peek_at();
+            assert_eq!(want, heap.peek_at());
+            let got = cal.pop();
+            assert_eq!(got.map(|e| e.0), want);
+            assert_eq!(heap.pop(), got);
+            if got.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]
