@@ -91,10 +91,37 @@ if [ -z "${D3T_SKIP_PERF_GATE:-}" ] && [ "$(nproc)" -ge 4 ]; then
 fi
 echo "$shard_out" | grep -v '^SHARD' > BENCH_shard.json
 test "$(grep -c '"shards": [124],' BENCH_shard.json)" -eq 3
+
+# The snapshot/branch what-if smoke: one shared prefix to the half-run
+# fork, one snapshot, 8 divergent scenario branches each driven cold
+# and warm. The hard gate is correctness: every WHATIF line must say
+# equal=true (the warm branch's report hash matches its cold twin — the
+# resume path is bit-identical on any machine). The amortization gates
+# (speedup ≥ 1.5 over 8 branches, capture ≤ 5% of one run's wall) are
+# wall-time claims, so they honor D3T_SKIP_PERF_GATE; the speedup
+# metric sums per-cell walls and is scheduler-independent, so no core
+# count precondition. The JSON document lands in BENCH_snapshot.json.
+whatif_out=$(cargo run --release -q -p d3t-experiments --bin repro -- \
+    whatif --tiny --ticks 2000 --branches 8)
+echo "$whatif_out" | grep -E '^WHATIF|^SNAPSHOT'
+test "$(echo "$whatif_out" | grep -c '^WHATIF branch=.* loss_pct=.* cold_wall_us=.* warm_wall_us=.* report_hash=0x.* equal=')" -eq 8
+test "$(echo "$whatif_out" | grep -c '^WHATIF .* equal=true$')" -eq 8
+test "$(echo "$whatif_out" | grep -c '^SNAPSHOT bytes=[1-9][0-9]* capture_us=.* restore_us=.* pending_events=.* digest=0x')" -eq 1
+if [ -z "${D3T_SKIP_PERF_GATE:-}" ]; then
+    speedup=$(echo "$whatif_out" | grep -o '"speedup": [0-9.]*' | grep -o '[0-9.]*')
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' \
+        || { echo "whatif speedup $speedup below the 1.5x gate"; exit 1; }
+    cap_pct=$(echo "$whatif_out" | grep -o '"capture_pct_of_run": [0-9.]*' | grep -o '[0-9.]*$')
+    awk -v c="$cap_pct" 'BEGIN { exit !(c <= 5.0) }' \
+        || { echo "snapshot capture ${cap_pct}% of a run, above the 5% gate"; exit 1; }
+fi
+echo "$whatif_out" | grep -vE '^WHATIF|^SNAPSHOT' > BENCH_snapshot.json
+test "$(grep -c '"equal": true' BENCH_snapshot.json)" -eq 8
 cat BENCH_queue.json
 cat BENCH_phases.json
 cat BENCH_resilience.json
 cat BENCH_lint.json
 cat BENCH_shard.json
+cat BENCH_snapshot.json
 
 echo "CI green."

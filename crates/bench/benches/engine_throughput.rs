@@ -110,6 +110,10 @@ impl EventQueue<EventKind> for Recorder {
         // Non-consuming probe: nothing to record.
         self.0.peek_at()
     }
+    fn snapshot_events(&self, out: &mut Vec<(u64, EventKind)>) {
+        // Non-consuming capture: nothing to record.
+        self.0.snapshot_events(out)
+    }
     fn len(&self) -> usize {
         self.0.len()
     }

@@ -1212,6 +1212,92 @@ impl Disseminator {
         let list = &self.source_lists[item.index()];
         list.c.iter().zip(&list.last).map(|(&c, &l)| (Coherency::new(c), l)).collect()
     }
+
+    /// Adopts `node`'s *value* state (its per-item `last` copies, both
+    /// the row view and the per-edge mirror slot in its parent's row)
+    /// from another replica of the same compiled disseminator.
+    ///
+    /// This is the sharded-snapshot merge primitive: each shard owns a
+    /// node subset and is authoritative for those nodes' received
+    /// values, while all *structural* state (CSR layout, effective
+    /// coherencies, liveness, adoptions, source lists) is replicated
+    /// identically on every shard because control events are replayed
+    /// everywhere in the same order. Merging therefore only needs the
+    /// owner's value columns copied over a clone of any one replica.
+    ///
+    /// # Panics
+    /// Debug-asserts the two replicas share one compiled shape.
+    pub fn copy_node_state_from(&mut self, src: &Disseminator, node: NodeIdx) {
+        debug_assert_eq!(self.n_items, src.n_items);
+        debug_assert_eq!(self.n_nodes, src.n_nodes);
+        debug_assert_eq!(self.child_edges.len(), src.child_edges.len());
+        for i in 0..self.n_items {
+            let row = i * self.n_nodes + node.index();
+            self.rows[row].last = src.rows[row].last;
+            let pe = self.rows[row].parent_edge;
+            if pe != NO_EDGE {
+                self.child_edges[pe as usize].last = src.child_edges[pe as usize].last;
+            }
+        }
+    }
+
+    /// Approximate owned size of the protocol state in bytes (flat
+    /// arrays + header) — snapshot telemetry only.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.rows.len() * std::mem::size_of::<RowMeta>()
+            + self.child_edges.len() * std::mem::size_of::<EdgeState>()
+            + self.parent.len() * std::mem::size_of::<u32>()
+            + self.active.len()
+            + self.adoptions.len() * std::mem::size_of::<Adoption>()
+            + self
+                .source_lists
+                .iter()
+                .map(|l| (l.c.len() + l.last.len()) * std::mem::size_of::<f64>())
+                .sum::<usize>()
+    }
+
+    /// Folds the disseminator's complete logical state — structure and
+    /// values, every float by bit pattern — into `h`. Two disseminators
+    /// digesting equal are byte-equal in every field a future decision
+    /// can read, which is what the snapshot `state_digest` gates on.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        h.write_u64(self.protocol as u64);
+        h.write_usize(self.n_items);
+        h.write_usize(self.n_nodes);
+        for r in &self.rows {
+            h.write_f64(r.last);
+            h.write_f64(r.eff);
+            h.write_u64(u64::from(r.start));
+            h.write_u64(u64::from(r.len));
+            h.write_u64(u64::from(r.parent_edge));
+        }
+        for e in &self.child_edges {
+            h.write_f64(e.c);
+            h.write_f64(e.last);
+            h.write_u64(u64::from(e.node));
+        }
+        for &p in &self.parent {
+            h.write_u64(u64::from(p));
+        }
+        for &a in &self.active {
+            h.write_u8(u8::from(a));
+        }
+        h.write_usize(self.adoptions.len());
+        for a in &self.adoptions {
+            h.write_u64(u64::from(a.item));
+            h.write_u64(u64::from(a.child));
+            h.write_u64(u64::from(a.foster));
+            h.write_u64(u64::from(a.original));
+        }
+        for list in &self.source_lists {
+            h.write_usize(list.c.len());
+            for (&c, &last) in list.c.iter().zip(&list.last) {
+                h.write_f64(c);
+                h.write_f64(last);
+            }
+        }
+    }
 }
 
 /// Result of a zero-delay cascade run.

@@ -382,6 +382,94 @@ impl FidelityTracker {
         }
     }
 
+    /// Adopts one repository's mutable column — hot pair records and
+    /// cold interval bookkeeping for every item — from another tracker
+    /// over the same workload.
+    ///
+    /// This is the sharded-snapshot merge primitive: every shard runs a
+    /// full-size tracker and sees every source tick, but only the
+    /// owning shard applies a repository's arrivals, so only the owner's
+    /// column for that repository matches the sequential oracle. Merging
+    /// copies each owner's columns over a clone of any one replica
+    /// (source values are already identical everywhere).
+    ///
+    /// # Panics
+    /// Debug-asserts the two trackers share one workload shape.
+    pub fn copy_repo_from(&mut self, src: &FidelityTracker, repo: usize) {
+        debug_assert_eq!(self.n_repos, src.n_repos);
+        debug_assert_eq!(self.pairs.len(), src.pairs.len());
+        let stride = self.n_repos + 1;
+        let n_items = self.pairs.len() / stride;
+        for item in 0..n_items {
+            let j = item * stride + repo + 1;
+            self.pairs[j] = src.pairs[j].clone();
+            self.violation_started[j] = src.violation_started[j];
+            self.violation_total_us[j] = src.violation_total_us[j];
+        }
+    }
+
+    /// Adopts the source-side value column from another tracker over
+    /// the same workload — the companion to
+    /// [`FidelityTracker::copy_repo_from`] when the destination is a
+    /// freshly built tracker: every shard replays every source tick, so
+    /// any replica's source values are the sequential ones.
+    ///
+    /// # Panics
+    /// Debug-asserts the two trackers share one workload shape.
+    pub fn copy_source_from(&mut self, src: &FidelityTracker) {
+        debug_assert_eq!(self.source_value.len(), src.source_value.len());
+        self.source_value.clone_from(&src.source_value);
+    }
+
+    /// Measured pairs whose violation interval is currently open, as
+    /// `(repo, item, started_us)` in slot order. Resuming a session
+    /// from a snapshot replays these into the fresh observer so
+    /// windowed-fidelity style observers start with the same open
+    /// intervals the uninterrupted run was carrying.
+    pub fn open_violations(&self) -> impl Iterator<Item = (usize, ItemId, u64)> + '_ {
+        let stride = self.n_repos + 1;
+        self.pairs.iter().enumerate().filter_map(move |(j, p)| {
+            if !p.c.is_nan() && p.c.is_sign_negative() {
+                Some((j % stride - 1, ItemId((j / stride) as u32), self.violation_started[j]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Approximate owned size of the tracker state in bytes (hot and
+    /// cold arrays + header) — snapshot telemetry only.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.source_value.len() * std::mem::size_of::<f64>()
+            + self.pairs.len() * std::mem::size_of::<PairHot>()
+            + (self.violation_started.len() + self.violation_total_us.len())
+                * std::mem::size_of::<u64>()
+    }
+
+    /// Folds the tracker's complete state — every tolerance/sign bit
+    /// pattern, repository copy, interval start and accumulated total —
+    /// into `h`, for the snapshot `state_digest` equality gates.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        h.write_usize(self.n_repos);
+        h.write_usize(self.n_measured);
+        h.write_u64(self.start_us);
+        for &v in &self.source_value {
+            h.write_f64(v);
+        }
+        for (j, p) in self.pairs.iter().enumerate() {
+            h.write_f64(p.c);
+            h.write_f64(p.repo_value);
+            // Interval starts are only meaningful while the sign bit is
+            // set; digest them gated so a closed slot's stale start
+            // cannot split digests of behaviorally identical trackers.
+            if p.c.is_sign_negative() {
+                h.write_u64(self.violation_started[j]);
+            }
+            h.write_u64(self.violation_total_us[j]);
+        }
+    }
+
     /// Closes all open violation intervals at `end_us` (µs) and produces
     /// the report. The tracker may not be used afterwards.
     pub fn finish(mut self, end_us: u64) -> FidelityReport {

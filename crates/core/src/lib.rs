@@ -15,6 +15,8 @@
 //! * [`lela`] — the Level-by-Level Algorithm that inserts repositories
 //!   into the `d3g`, with preference factors, the P% candidate band, and
 //!   the cascading data-need augmentation;
+//! * [`digest`] — the seeded FNV-1a content hash shared by every
+//!   divergence gate (report hashes, snapshot state digests);
 //! * [`dissemination`] — the three update-propagation policies: naive
 //!   (Eq. 3 only — exhibits the missed-updates problem of Figure 4),
 //!   distributed (Eq. 3 ∨ Eq. 7), and centralized (source-tagged);
@@ -26,6 +28,7 @@
 
 pub mod coherency;
 pub mod coop;
+pub mod digest;
 pub mod dissemination;
 pub mod fidelity;
 pub mod graph;
@@ -38,6 +41,7 @@ pub mod workload;
 
 pub use coherency::Coherency;
 pub use coop::{controlled_degree, CoopParams};
+pub use digest::Fnv1a;
 pub use graph::{D3g, D3tStats};
 pub use item::ItemId;
 pub use lela::{LelaConfig, PreferenceFunction};

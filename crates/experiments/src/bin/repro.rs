@@ -71,7 +71,7 @@ use std::time::Instant;
 
 use d3t_experiments::{
     ablations, baseline, controlled, dynamics, filtering, lela_params, nocoop, protocols, pullpush,
-    resilience, scalability, sweep, table1, Scale,
+    resilience, scalability, sweep, table1, whatif, Scale,
 };
 use d3t_sim::QueueBackend;
 
@@ -311,12 +311,7 @@ fn resilience_json(scale: &Scale) {
 /// float bit pattern, counter and pair loss lands in the digest, so
 /// two shard counts agreeing on the hash agree on the whole report.
 fn report_hash(report: &impl std::fmt::Debug) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{report:?}").bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    d3t_core::digest::debug_hash(report)
 }
 
 /// The sharded-engine scale-out cell: one prepared input, driven at
@@ -372,6 +367,68 @@ fn scale_out(scale: &Scale) {
     println!("}}");
 }
 
+/// The snapshot/branch amortization cell: one shared prefix to the
+/// half-run fork, one warm [`Snapshot`](d3t_sim::Snapshot), then
+/// `n_branches` divergent what-if scenarios each driven cold (full
+/// re-simulation) and warm (resume from the snapshot), digests
+/// compared per branch.
+///
+/// The `equal=` field on every `WHATIF` line is the correctness gate —
+/// warm must be bit-identical to cold on any machine. `speedup` in the
+/// JSON totals is the amortization figure of merit
+/// (Σ cold / (prefix + capture + Σ warm), per-cell walls so it is
+/// scheduler-independent); `ci.sh` asserts it ≥ 1.5 at 8 branches and
+/// capture ≤ 5% of one run only where `D3T_SKIP_PERF_GATE` is unset.
+fn whatif_cmd(scale: &Scale, n_branches: usize) {
+    let rep = whatif::whatif_report(scale, n_branches);
+    for cell in &rep.cells {
+        println!("{}", cell.machine_line());
+    }
+    println!("{}", rep.snapshot_line());
+    println!("{{");
+    println!(
+        "  \"scale\": {{\"repos\": {}, \"items\": {}, \"ticks\": {}, \"seed\": {}}},",
+        scale.n_repos, scale.n_items, scale.n_ticks, scale.seed
+    );
+    println!(
+        "  \"snapshot\": {{\"bytes\": {}, \"capture_us\": {}, \"restore_us\": {}, \
+         \"pending_events\": {}, \"fork_us\": {}, \"end_us\": {}, \"state_digest\": \"{:#018x}\"}},",
+        rep.snapshot_bytes,
+        rep.capture_us,
+        rep.restore_us,
+        rep.pending_events,
+        rep.fork_us,
+        rep.end_us,
+        rep.state_digest,
+    );
+    println!("  \"branches\": [");
+    for (i, c) in rep.cells.iter().enumerate() {
+        let comma = if i + 1 < rep.cells.len() { "," } else { "" };
+        println!(
+            "    {{\"name\": \"{}\", \"loss_pct\": {:.4}, \"cold_wall_us\": {}, \
+             \"warm_wall_us\": {}, \"report_hash\": \"{:#018x}\", \"equal\": {}}}{comma}",
+            c.name,
+            c.loss_pct,
+            c.cold_wall_us,
+            c.warm_wall_us,
+            c.warm_hash,
+            c.equal(),
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"totals\": {{\"branches\": {}, \"prefix_wall_us\": {}, \"cold_total_us\": {}, \
+         \"warm_total_us\": {}, \"speedup\": {:.2}, \"capture_pct_of_run\": {:.3}}}",
+        rep.cells.len(),
+        rep.prefix_wall_us,
+        rep.cold_total_us(),
+        rep.warm_total_us(),
+        rep.speedup(),
+        rep.capture_pct_of_run(),
+    );
+    println!("}}");
+}
+
 /// One timed base-config run per protocol; the `FILTER` lines CI greps
 /// for check-path throughput tracking (the fig8 flood baseline and the
 /// fig11 centralized/distributed comparison at matched workloads).
@@ -408,6 +465,8 @@ fn main() {
     let mut run_phases = false;
     let mut run_resilience = false;
     let mut run_scale_out = false;
+    let mut run_whatif = false;
+    let mut n_branches = 8usize;
     let mut queue: Option<QueueBackend> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -430,6 +489,11 @@ fn main() {
             "phases" => run_phases = true,
             "resilience" => run_resilience = true,
             "scale-out" => run_scale_out = true,
+            "whatif" => run_whatif = true,
+            "--branches" => {
+                let v = iter.next().expect("--branches needs a value");
+                n_branches = v.parse().expect("--branches must be an integer");
+            }
             "--ticks" => {
                 let v = iter.next().expect("--ticks needs a value");
                 scale.n_ticks = v.parse().expect("--ticks must be an integer");
@@ -469,11 +533,18 @@ fn main() {
     if let Some(q) = queue {
         scale.queue = q;
     }
-    if run_smoke || run_filter || run_queue_json || run_phases || run_resilience || run_scale_out {
+    if run_smoke
+        || run_filter
+        || run_queue_json
+        || run_phases
+        || run_resilience
+        || run_scale_out
+        || run_whatif
+    {
         if !wanted.is_empty() {
             eprintln!(
-                "`smoke`/`filter`/`queue-json`/`phases`/`resilience`/`scale-out` run timed cells \
-                 and cannot be combined with experiment ids"
+                "`smoke`/`filter`/`queue-json`/`phases`/`resilience`/`scale-out`/`whatif` run \
+                 timed cells and cannot be combined with experiment ids"
             );
             std::process::exit(2);
         }
@@ -494,6 +565,9 @@ fn main() {
         }
         if run_scale_out {
             scale_out(&scale);
+        }
+        if run_whatif {
+            whatif_cmd(&scale, n_branches);
         }
         return;
     }

@@ -50,6 +50,7 @@ pub mod scalability;
 pub mod scale;
 pub mod sweep;
 pub mod table1;
+pub mod whatif;
 
 pub use figure::{Figure, Series};
 pub use scale::Scale;

@@ -126,6 +126,8 @@
 //!
 //! Experiment setup cost lives in [`crate::prepared`], not here.
 
+use std::sync::Arc; // d3t-lint: allow(D003) -- Arc shares immutable prepared inputs by refcount; no locks, no scheduling
+
 use d3t_core::dissemination::{Disseminator, Update};
 use d3t_core::fidelity::{FidelityReport, FidelityTracker};
 use d3t_core::graph::D3g;
@@ -190,6 +192,11 @@ pub struct TagTable {
 }
 
 impl TagTable {
+    /// Approximate owned size in bytes — snapshot telemetry only.
+    pub(crate) fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.pairs.len() * std::mem::size_of::<(f64, f64)>()
+    }
+
     /// Appends a `(value, tag)` pair, returning its id.
     #[inline]
     fn intern(&mut self, value: f64, tag: f64) -> u32 {
@@ -338,6 +345,30 @@ pub fn change_at_us(at_ms: u64) -> u64 {
     at_ms.saturating_mul(1000)
 }
 
+/// Packs merged source changes into the `(at_us, payload)` stream the
+/// run loops merge with the queue. Built once per prepared run and
+/// shared across every session of it.
+pub fn build_source_stream(changes: &[SourceChange], end_us: u64) -> Vec<(u64, EventKind)> {
+    let source_stream: Vec<(u64, EventKind)> = changes
+        .iter()
+        .map(|&(at_ms, item, value)| {
+            let at_us = change_at_us(at_ms);
+            debug_assert!(at_us <= end_us, "change beyond horizon");
+            // NaN bit patterns are reserved for the payload's tag box.
+            assert!(!value.is_nan(), "source change values must not be NaN");
+            (at_us, EventKind::source_change(item, value))
+        })
+        .collect();
+    // Hard assert: the stream-merge run loops rely on this order for
+    // correctness (an unsorted stream would silently reorder events
+    // in release builds), and the check is O(n) once per run.
+    assert!(
+        source_stream.windows(2).all(|w| w[0].0 <= w[1].0),
+        "source changes must arrive time-sorted"
+    );
+    source_stream
+}
+
 /// The assembled simulator, ready to run one dissemination experiment.
 /// The scheduler backend is a type parameter, defaulting to the calendar
 /// queue; results are backend independent by construction. Everything the
@@ -345,8 +376,10 @@ pub fn change_at_us(at_ms: u64) -> u64 {
 /// the d3g is not referenced after [`Engine::new`] returns.
 pub struct Engine<Q: EventQueue<EventKind> = CalendarQueue<EventKind>> {
     /// Flat µs overlay delay matrix (one float→int rounding per pair,
-    /// done at construction).
-    pub(crate) delays_us: DelayMicros,
+    /// done at construction). Shared: every session of the same
+    /// prepared run reads the identical matrix, so warm branches and
+    /// sweep cells clone a pointer instead of re-rounding O(n²) pairs.
+    pub(crate) delays_us: Arc<DelayMicros>,
     /// Per-dependent CPU occupancy, µs.
     pub(crate) comp_delay_us: u64,
     pub(crate) disseminator: Disseminator,
@@ -365,8 +398,11 @@ pub struct Engine<Q: EventQueue<EventKind> = CalendarQueue<EventKind>> {
     /// loops merge this cursor with the queue (stream wins time ties —
     /// every change carries a smaller creation stamp than any arrival),
     /// so a million pre-seeded changes never transit the overflow heap
-    /// at all. The queue holds in-flight arrivals only.
-    pub(crate) source_stream: Vec<(u64, EventKind)>,
+    /// at all. The queue holds in-flight arrivals only. Shared for the
+    /// same reason as the delay matrix: the stream is immutable input,
+    /// and re-materializing ticks × items tuples per session dominates
+    /// warm-branch construction cost.
+    pub(crate) source_stream: Arc<Vec<(u64, EventKind)>>,
     /// Next unprocessed `source_stream` entry.
     pub(crate) stream_cursor: usize,
 }
@@ -422,26 +458,39 @@ impl<Q: EventQueue<EventKind>> Engine<Q> {
         comp_delay_ms: f64,
         end_us: u64,
     ) -> Self {
+        Self::with_queue_shared(
+            d3g,
+            workload,
+            Arc::new(DelayMicros::from_delays(delays, d3g.n_nodes())),
+            disseminator,
+            Arc::new(build_source_stream(changes, end_us)),
+            initial_values,
+            comp_delay_ms,
+            end_us,
+        )
+    }
+
+    /// [`Engine::with_queue`] over *pre-built* shared inputs: the µs
+    /// delay matrix and the packed source stream are immutable for the
+    /// lifetime of a prepared run, so callers constructing many
+    /// sessions of the same inputs (sweep cells, warm what-if branches)
+    /// pass the same two `Arc`s and skip the O(n²) rounding and the
+    /// O(ticks × items) stream materialization per session.
+    #[allow(clippy::too_many_arguments)] // one parameter per §6.1 experiment input
+    pub fn with_queue_shared(
+        d3g: &D3g,
+        workload: &Workload,
+        delays_us: Arc<DelayMicros>,
+        disseminator: Disseminator,
+        source_stream: Arc<Vec<(u64, EventKind)>>,
+        initial_values: &[f64],
+        comp_delay_ms: f64,
+        end_us: u64,
+    ) -> Self {
         assert!(comp_delay_ms >= 0.0, "computational delay must be >= 0");
-        let source_stream: Vec<(u64, EventKind)> = changes
-            .iter()
-            .map(|&(at_ms, item, value)| {
-                let at_us = change_at_us(at_ms);
-                debug_assert!(at_us <= end_us, "change beyond horizon");
-                // NaN bit patterns are reserved for the payload's tag box.
-                assert!(!value.is_nan(), "source change values must not be NaN");
-                (at_us, EventKind::source_change(item, value))
-            })
-            .collect();
-        // Hard assert: the stream-merge run loops rely on this order for
-        // correctness (an unsorted stream would silently reorder events
-        // in release builds), and the check is O(n) once per run.
-        assert!(
-            source_stream.windows(2).all(|w| w[0].0 <= w[1].0),
-            "source changes must arrive time-sorted"
-        );
+        let n_changes = source_stream.len();
         Self {
-            delays_us: DelayMicros::from_delays(delays, d3g.n_nodes()),
+            delays_us,
             comp_delay_us: ms_to_us(comp_delay_ms),
             disseminator,
             fidelity: FidelityTracker::new(workload, initial_values, 0),
@@ -450,7 +499,7 @@ impl<Q: EventQueue<EventKind>> Engine<Q> {
             // The queue holds in-flight arrivals only (the source stream
             // is merged at pop time), so size it for churn, not for the
             // whole horizon's worth of pre-seeded changes.
-            queue: Q::with_capacity(changes.len().min(1 << 15)),
+            queue: Q::with_capacity(n_changes.min(1 << 15)),
             next_seq: 0,
             end_us,
             tags: TagTable::default(),

@@ -385,6 +385,14 @@ impl FaultState {
     pub(crate) fn link_active(&self) -> bool {
         self.loss_prob > 0.0 || self.degrade.is_some()
     }
+
+    /// Approximate owned size in bytes (timeline + repair heap +
+    /// header) — snapshot telemetry only.
+    pub(crate) fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.timeline.len() * std::mem::size_of::<(u64, FaultEvent)>()
+            + self.repairs.len() * std::mem::size_of::<Reverse<(u64, u64, RepairOp)>>()
+    }
 }
 
 /// Every node in `root`'s current d3g subtree (root included): the

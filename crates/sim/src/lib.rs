@@ -142,6 +142,7 @@ pub mod queue;
 pub mod report;
 pub mod session;
 pub(crate) mod shard;
+pub mod snapshot;
 
 pub use config::{SimConfig, TreeStrategy};
 pub use dynamics::{Dynamic, DynamicError};
@@ -157,7 +158,8 @@ pub use observer::{
 pub use prepared::Prepared;
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend, QueueVisitor};
 pub use report::RunReport;
-pub use session::{PhaseCounter, PhaseStats, Session};
+pub use session::{PhaseCounter, PhaseStats, Session, SnapshotStats};
+pub use snapshot::Snapshot;
 
 /// Prepares and runs a complete simulation from a configuration — the
 /// sealed-run compatibility wrapper over [`Session`], bit-identical to

@@ -1,10 +1,12 @@
 //! End-to-end run preparation: traces → network → workload → d3g → engine.
 
+use std::sync::Arc; // d3t-lint: allow(D003) -- Arc shares immutable prepared inputs by refcount; no locks, no scheduling
+
 use d3t_core::coop::{controlled_degree, CoopParams};
 use d3t_core::dissemination::Disseminator;
 use d3t_core::graph::D3g;
 use d3t_core::item::ItemId;
-use d3t_core::lela::{build_d3g, DelayMatrix, LelaConfig};
+use d3t_core::lela::{build_d3g, DelayMatrix, DelayMicros, LelaConfig};
 use d3t_core::workload::{Workload, WorkloadConfig};
 use d3t_net::PhysicalNetwork;
 use d3t_traces::{generate_ensemble, EnsembleConfig, Trace};
@@ -15,6 +17,7 @@ use crate::observer::{NoopObserver, Observer};
 use crate::queue::{CalendarQueue, EventQueue, QueueVisitor};
 use crate::report::RunReport;
 use crate::session::Session;
+use crate::snapshot::Snapshot;
 
 /// A fully materialized experiment: all inputs generated, overlay built,
 /// ready to [`run`](Prepared::run). Exposed so examples and ablations can
@@ -38,6 +41,14 @@ pub struct Prepared {
     /// Observation horizon, µs (the engine's integer timebase).
     pub end_us: u64,
     cfg: SimConfig,
+    /// The flattened µs delay matrix, built once and shared by every
+    /// session/engine of this prepared run (the matrix is O(nodes²) —
+    /// re-rounding it per sweep cell or warm branch dominated session
+    /// construction cost).
+    delays_us: Arc<DelayMicros>,
+    /// The packed `(at_us, payload)` source stream, likewise built once
+    /// and shared (O(ticks × items) tuples).
+    source_stream: Arc<Vec<(u64, EventKind)>>,
 }
 
 impl Prepared {
@@ -68,6 +79,8 @@ impl Prepared {
             traces.iter().map(|t| t.first().expect("non-empty trace").value).collect();
         let changes = merge_changes(&traces);
         let end_us = traces.iter().map(Trace::duration_ms).max().unwrap_or(0) * 1000;
+        let delays_us = Arc::new(DelayMicros::from_delays(&delays, d3g.n_nodes()));
+        let source_stream = Arc::new(crate::engine::build_source_stream(&changes, end_us));
         Self {
             traces,
             workload,
@@ -78,6 +91,8 @@ impl Prepared {
             initial_values,
             end_us,
             cfg: cfg.clone(),
+            delays_us,
+            source_stream,
         }
     }
 
@@ -157,21 +172,73 @@ impl Prepared {
         session
     }
 
+    /// Reconstructs a live session from a [`Snapshot`] on the default
+    /// calendar queue — the warm-branch entry point. The resumed
+    /// session's run-to-end is **bit-identical** to the captured
+    /// session run uninterrupted (property-tested across protocols ×
+    /// seeds × backends × batch caps × fault plans). The snapshot must
+    /// come from a session of this same prepared run (same overlay,
+    /// traces and horizon — debug-asserted), but the queue backend may
+    /// differ from the captured session's: capture is backend-neutral.
+    pub fn resume(&self, snapshot: &Snapshot) -> Session {
+        self.resume_with::<CalendarQueue<EventKind>, _>(snapshot, NoopObserver)
+    }
+
+    /// [`Prepared::resume`] with an explicit scheduler backend and a
+    /// fresh observer. The observer starts from the capture instant —
+    /// it sees the still-open violation intervals replayed at their
+    /// original start times, then everything after the fork.
+    pub fn resume_with<Q: EventQueue<EventKind>, O: Observer>(
+        &self,
+        snapshot: &Snapshot,
+        observer: O,
+    ) -> Session<Q, O> {
+        let mut session = self.session_with(observer);
+        session.restore_from(snapshot);
+        session
+    }
+
+    /// Runs the configured drive to `t_us` and captures a [`Snapshot`]
+    /// there — the cheapest way to a warm fork point. With
+    /// `n_shards > 1` the prefix runs on the sharded engine and the
+    /// capture happens at an epoch barrier, merged back into the
+    /// sequential state shape: the snapshot digests equal to (and
+    /// resumes bit-identical to) a single-shard session snapshotted at
+    /// the same instant. Configurations the sharded drive cannot serve
+    /// (lossy or degraded plans, unbounded horizon, zero lookahead)
+    /// fall back to a sequential prefix silently, exactly like
+    /// [`Prepared::run`].
+    pub fn snapshot_at(&self, t_us: u64) -> Snapshot {
+        if self.cfg.n_shards > 1 {
+            if let Some(snap) = crate::shard::snapshot_sharded(self, t_us) {
+                return snap;
+            }
+        }
+        let mut session = self.session();
+        session.run_until(t_us);
+        session.snapshot()
+    }
+
     /// The sealed reference engine over this prepared run (the oracle the
     /// session is property-tested against; normal callers want
     /// [`Prepared::session`]).
     pub fn engine<Q: EventQueue<EventKind>>(&self) -> Engine<Q> {
         let disseminator = Disseminator::new(self.cfg.protocol, &self.d3g, &self.initial_values);
-        Engine::<Q>::with_queue(
+        Engine::<Q>::with_queue_shared(
             &self.d3g,
             &self.workload,
-            &self.delays,
+            Arc::clone(&self.delays_us),
             disseminator,
-            &self.changes,
+            Arc::clone(&self.source_stream),
             &self.initial_values,
             self.cfg.comp_delay_ms,
             self.end_us,
         )
+    }
+
+    /// The shared flattened µs delay matrix of this prepared run.
+    pub(crate) fn delay_micros(&self) -> &Arc<DelayMicros> {
+        &self.delays_us
     }
 
     /// Wraps a finished run's outputs with the overlay statistics every

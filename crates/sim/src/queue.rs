@@ -304,6 +304,17 @@ pub trait EventQueue<T: Copy> {
     /// position are fine.)
     fn peek_at(&mut self) -> Option<u64>;
 
+    /// Appends every pending event to `out` in exactly the order
+    /// repeated [`EventQueue::pop`] calls would drain them, **without
+    /// mutating the queue** (no tier migrations, no cursor movement).
+    ///
+    /// This is the snapshot-capture primitive: a captured queue is
+    /// rebuilt by re-pushing the events with fresh ascending stamps,
+    /// and because the capture order *is* the pop order, the replay
+    /// reproduces the original total `(at_us, seq)` order exactly —
+    /// including FIFO ties — without ever storing the original stamps.
+    fn snapshot_events(&self, out: &mut Vec<(u64, T)>);
+
     /// Number of pending events.
     fn len(&self) -> usize;
 
@@ -466,6 +477,12 @@ impl<T: Copy> EventQueue<T> for HeapQueue<T> {
     #[inline]
     fn peek_at(&mut self) -> Option<u64> {
         self.heap.peek().map(|Reverse(s)| s.at_us)
+    }
+
+    fn snapshot_events(&self, out: &mut Vec<(u64, T)>) {
+        let mut slots: Vec<&KeyedSlot<T>> = self.heap.iter().map(|Reverse(s)| s).collect();
+        slots.sort_by_key(|s| s.key());
+        out.extend(slots.into_iter().map(|s| (s.at_us, s.item)));
     }
 
     fn len(&self) -> usize {
@@ -1089,6 +1106,39 @@ impl<T: Copy> EventQueue<T> for CalendarQueue<T> {
         // cursor, which is a search memo, not a structural change.
         let b = self.locate_min();
         self.buckets[b].front().map(|s| s.at_us)
+    }
+
+    fn snapshot_events(&self, out: &mut Vec<(u64, T)>) {
+        // Calendar tier: equal keys always share a day (`at_us` maps to
+        // one day, a day to one bucket) and bucket order is FIFO, so
+        // concatenating the pending slices and *stably* sorting by time
+        // alone reproduces the exact calendar pop order.
+        let mut cal: Vec<CalSlot<T>> = Vec::with_capacity(self.cal_len);
+        for b in &self.buckets {
+            cal.extend_from_slice(b.pending());
+        }
+        cal.sort_by_key(|s| s.at_us);
+        // Overflow tier: slots carry explicit (possibly demotion-
+        // synthesized negative) tie-breakers; `(at_us, seq)` is its pop
+        // order.
+        let mut ovf: Vec<&KeyedSlot<T>> = self.overflow.iter().map(|Reverse(s)| s).collect();
+        ovf.sort_by_key(|s| s.key());
+        // Merge with the calendar winning time ties: the only cross-tier
+        // equal keys are boundary-snap twins, whose overflow halves were
+        // created later (see `advance_year`).
+        out.reserve(cal.len() + ovf.len());
+        let (mut i, mut j) = (0, 0);
+        while i < cal.len() && j < ovf.len() {
+            if cal[i].at_us <= ovf[j].at_us {
+                out.push((cal[i].at_us, cal[i].item));
+                i += 1;
+            } else {
+                out.push((ovf[j].at_us, ovf[j].item));
+                j += 1;
+            }
+        }
+        out.extend(cal[i..].iter().map(|s| (s.at_us, s.item)));
+        out.extend(ovf[j..].iter().map(|s| (s.at_us, s.item)));
     }
 
     fn len(&self) -> usize {

@@ -88,6 +88,27 @@
 //! bulk push (pop-order invisible but ~15% slower — event-order send
 //! groups already mostly hit `push_batch`'s append path, and the sorted
 //! order degrades the calendar's adaptation signals).
+//!
+//! # Performance model: snapshot and resume
+//!
+//! [`Session::snapshot`] bulk-clones the already-flat state arrays —
+//! disseminator rows + CSR edges, fidelity hot/cold columns, tag table,
+//! pending queue events (decoded via one [`EventQueue::snapshot_events`]
+//! visit), fault-plan runtime — into an owned [`Snapshot`]; nothing is
+//! serialized and nothing per-event is allocated beyond the destination
+//! vectors. Measured at the bench anchor scale (600 repositories /
+//! 100 items / 10k ticks, ~5.0 MB captured): capture ~0.7 ms, restore
+//! ~5 ms (restore re-pushes pending events with fresh stamps and
+//! replays open violations into the observer), against a full-run wall
+//! of seconds — comfortably inside the ≤ 5%-of-one-run CI budget, so
+//! forking N what-if branches from a warm snapshot costs N× the
+//! *suffix* plus one prefix instead of N× the whole run. The shared
+//! immutable inputs (µs delay matrix, packed source stream) are `Arc`s
+//! cloned per session, so warm branches and sweep cells don't re-derive
+//! them; capture/restore wall and byte telemetry land in
+//! [`PhaseStats::snapshot`] ([`SnapshotStats`]).
+
+use std::sync::Arc; // d3t-lint: allow(D003) -- Arc shares immutable prepared inputs by refcount; no locks, no scheduling
 
 use std::collections::VecDeque;
 
@@ -96,12 +117,15 @@ use d3t_core::fidelity::{FidelityReport, FidelityTracker};
 use d3t_core::lela::DelayMicros;
 use d3t_core::overlay::{NodeIdx, SOURCE};
 
+use d3t_core::digest::Fnv1a;
+
 use crate::dynamics::{Dynamic, DynamicError};
 use crate::engine::{Engine, Event, EventKind, TagTable};
 use crate::fault::{FaultControl, FaultEvent, FaultPlan, FaultState, RepairOp, RepairPolicy};
 use crate::metrics::Metrics;
 use crate::observer::{FaultObservation, NoopObserver, Observer};
 use crate::queue::{CalendarQueue, EventQueue};
+use crate::snapshot::{Snapshot, STATE_DIGEST_SEED};
 
 /// A live, steppable simulation run. Construct via
 /// [`Prepared::session`](crate::Prepared::session) /
@@ -109,7 +133,7 @@ use crate::queue::{CalendarQueue, EventQueue};
 /// assembled [`Engine`] with [`Session::from_engine`].
 pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Observer = NoopObserver>
 {
-    delays_us: DelayMicros,
+    delays_us: Arc<DelayMicros>,
     comp_delay_us: u64,
     disseminator: Disseminator,
     fidelity: FidelityTracker,
@@ -134,7 +158,7 @@ pub struct Session<Q: EventQueue<EventKind> = CalendarQueue<EventKind>, O: Obser
     /// The pre-seeded source changes, streamed rather than enqueued (see
     /// the engine's field docs): the stream head outranks equal-time
     /// queue entries, and a stashed stream event moves to `lookahead`.
-    source_stream: Vec<(u64, EventKind)>,
+    source_stream: Arc<Vec<(u64, EventKind)>>,
     /// Next unprocessed `source_stream` entry.
     stream_cursor: usize,
     /// Reused forwarding-decision buffer: the disseminator's batched
@@ -272,6 +296,30 @@ pub struct PhaseStats {
     /// Batched runs staged (`process.ops / runs` is the mean run size;
     /// scalar-path events never increment this).
     pub runs: u64,
+    /// Snapshot-path telemetry (capture/restore cost, captured bytes).
+    /// Deliberately **not** one of the [`PhaseStats::named`] drain
+    /// phases: that contract — exactly four entries whose cycles
+    /// partition the drain — is load-bearing for `repro phases` and
+    /// the ci.sh gates.
+    pub snapshot: SnapshotStats,
+}
+
+/// Telemetry for the snapshot capture/restore path, accumulated on the
+/// session the operation ran against (capture on the source session,
+/// restore on the resumed one). Cycles are TSC reads like the drain
+/// phases — scale against a measured wall clock for time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Owned bytes of the most recently captured snapshot.
+    pub bytes: u64,
+    /// TSC cycles spent in [`Session::snapshot`], accumulated.
+    pub capture_cycles: u64,
+    /// TSC cycles spent restoring from a snapshot, accumulated.
+    pub restore_cycles: u64,
+    /// Captures performed.
+    pub captures: u64,
+    /// Restores performed.
+    pub restores: u64,
 }
 
 impl PhaseStats {
@@ -358,6 +406,32 @@ fn faulty_arrival<O: Observer>(
     Some(arrival_us)
 }
 
+/// Folds one scheduled event into `h` in decoded form: NaN-boxed
+/// tag-table ids are resolved to their `(value, tag)` pairs first, so
+/// digests agree across sessions whose tables interned the same pairs
+/// under different ids (a sharded-barrier restore vs the sequential
+/// run). Source changes fold the node sentinel and an impossible tag
+/// pattern, keeping the two event shapes disjoint in the stream.
+fn digest_event(h: &mut Fnv1a, at_us: u64, kind: EventKind, tags: &TagTable) {
+    h.write_u64(at_us);
+    match kind.classify(tags) {
+        Event::SourceChange { item, value } => {
+            h.write_u64(u64::from(u32::MAX));
+            h.write_u64(u64::from(item.0));
+            h.write_f64(value);
+            h.write_u64(u64::MAX);
+        }
+        Event::Arrival { node, update } => {
+            h.write_u64(u64::from(node.0));
+            h.write_u64(u64::from(update.item.0));
+            h.write_f64(update.value);
+            // A real tag is finite, so its bit pattern is never the
+            // all-ones NaN used as the "untagged" sentinel.
+            h.write_u64(update.tag.map_or(u64::MAX, |c| c.value().to_bits()));
+        }
+    }
+}
+
 impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// Wraps an assembled engine into a steppable session. The engine's
     /// construction (input conversion, queue seeding) is the single
@@ -404,6 +478,137 @@ impl<Q: EventQueue<EventKind>, O: Observer> Session<Q, O> {
     /// in the past would fire late, clamped to `now_us`.
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
         self.faults = FaultState::compile(plan, &self.disseminator, self.end_us);
+    }
+
+    /// Installs a [`FaultPlan`] on a *branched* session (typically one
+    /// just resumed from a [`Snapshot`]): compiles the plan against the
+    /// **current** overlay, then immediately fires any controls due at
+    /// or before `now_us` — exactly what a run that had carried the
+    /// plan from t = 0 would have applied by now. A branch whose plan
+    /// is entirely in the future (the what-if shape: scenario events
+    /// strictly after the fork instant) is therefore bit-identical to a
+    /// cold run carrying the same plan from the start, provided the
+    /// shared prefix was fault-free.
+    pub fn adopt_fault_plan(&mut self, plan: &FaultPlan) {
+        self.install_fault_plan(plan);
+        while !self.faults.is_idle() && self.faults.next_at() <= self.now_us {
+            self.apply_next_control();
+        }
+    }
+
+    /// Captures everything the session's future depends on into a
+    /// compact owned [`Snapshot`]: bulk clones of the already-flat
+    /// protocol/fidelity/fault state plus one ordered, non-mutating
+    /// queue walk. Valid at any quiescent step boundary (between
+    /// `step` / `run_until` calls). [`Prepared::resume`] reconstructs a
+    /// session whose run-to-end is bit-identical to this session run
+    /// uninterrupted.
+    ///
+    /// `&mut` only for telemetry: capture cost and size land in
+    /// [`PhaseStats::snapshot`]; no simulation state changes.
+    ///
+    /// [`Prepared::resume`]: crate::Prepared::resume
+    pub fn snapshot(&mut self) -> Snapshot {
+        let t0 = cycles();
+        let mut queue_events = Vec::with_capacity(self.queue.len());
+        self.queue.snapshot_events(&mut queue_events);
+        let snap = Snapshot {
+            now_us: self.now_us,
+            end_us: self.end_us,
+            stream_cursor: self.stream_cursor,
+            busy_until_us: self.busy_until_us.clone(),
+            disseminator: self.disseminator.clone(),
+            fidelity: self.fidelity.clone(),
+            metrics: self.metrics,
+            tags: self.tags.clone(),
+            lookahead: self.lookahead.iter().copied().collect(),
+            queue_events,
+            faults: self.faults.clone(),
+        };
+        self.phases.snapshot.captures += 1;
+        self.phases.snapshot.capture_cycles += cycles().wrapping_sub(t0);
+        self.phases.snapshot.bytes = snap.size_bytes() as u64;
+        snap
+    }
+
+    /// Overwrites this freshly built session's mutable state with the
+    /// snapshot's — the restore half of [`Prepared::resume`]. The
+    /// pending events are re-pushed into a fresh queue with ascending
+    /// stamps restarted at 0: capture order is pop order, so the
+    /// replay reproduces the original total `(at_us, seq)` order,
+    /// FIFO ties included, and every later stamp stays strictly above
+    /// the restored ones. Still-open violation intervals are replayed
+    /// into the (fresh) observer so stateful observers start coherent.
+    ///
+    /// [`Prepared::resume`]: crate::Prepared::resume
+    pub(crate) fn restore_from(&mut self, snap: &Snapshot) {
+        let t0 = cycles();
+        debug_assert_eq!(self.end_us, snap.end_us, "snapshot from a different horizon");
+        debug_assert_eq!(
+            self.busy_until_us.len(),
+            snap.busy_until_us.len(),
+            "snapshot from a different overlay"
+        );
+        self.disseminator = snap.disseminator.clone();
+        self.fidelity = snap.fidelity.clone();
+        self.metrics = snap.metrics;
+        self.busy_until_us.clone_from(&snap.busy_until_us);
+        self.tags = snap.tags.clone();
+        self.faults = snap.faults.clone();
+        self.now_us = snap.now_us;
+        self.stream_cursor = snap.stream_cursor;
+        self.lookahead.clear();
+        self.lookahead.extend(snap.lookahead.iter().copied());
+        let mut queue = Q::with_capacity(snap.queue_events.len());
+        queue.push_batch(0, &snap.queue_events);
+        self.queue = queue;
+        self.next_seq = snap.queue_events.len() as u64;
+        let Self { fidelity, observer, .. } = self;
+        for (repo, item, started_us) in fidelity.open_violations() {
+            observer.on_violation_open(started_us, repo, item);
+        }
+        self.phases.snapshot.restores += 1;
+        self.phases.snapshot.restore_cycles += cycles().wrapping_sub(t0);
+        self.phases.snapshot.bytes = snap.size_bytes() as u64;
+    }
+
+    /// Seeded FNV-1a over the session's canonical state — O(state) to
+    /// compute, O(1) to compare: two sessions with equal digests hold
+    /// equal protocol, fidelity, fault, clock and pending-event state,
+    /// so their runs-to-end produce equal reports (the divergence
+    /// gate `repro whatif` and the cross-backend property tests use).
+    ///
+    /// Scheduled events are digested in *decoded* form (tag-table ids
+    /// resolved to their `(value, tag)` pairs) and the stamp counter is
+    /// skipped, so a resumed session digests equal to its source and a
+    /// sharded-barrier restore digests equal to the sequential run —
+    /// re-interned ids and restarted stamps are representation, not
+    /// state. `now_us` is also skipped: it does not affect run-to-end
+    /// behavior, only where a next injection would land.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv1a::with_seed(STATE_DIGEST_SEED);
+        self.disseminator.digest_into(&mut h);
+        self.fidelity.digest_into(&mut h);
+        h.write_bytes(format!("{:?}", self.metrics).as_bytes());
+        for &b in &self.busy_until_us {
+            h.write_u64(b);
+        }
+        h.write_usize(self.stream_cursor);
+        h.write_usize(self.lookahead.len());
+        for &(at_us, kind) in &self.lookahead {
+            digest_event(&mut h, at_us, kind, &self.tags);
+        }
+        let mut pending = Vec::with_capacity(self.queue.len());
+        self.queue.snapshot_events(&mut pending);
+        h.write_usize(pending.len());
+        for &(at_us, kind) in &pending {
+            digest_event(&mut h, at_us, kind, &self.tags);
+        }
+        // The fault runtime via its `Debug` bytes: controls apply in
+        // one deterministic order on every drive path, so equal
+        // behavior renders equal bytes (including the RNG state).
+        h.write_bytes(format!("{:?}", self.faults).as_bytes());
+        h.finish()
     }
 
     /// Caps how many events one batched run may stage (the

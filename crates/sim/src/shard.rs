@@ -95,6 +95,7 @@ use crate::metrics::Metrics;
 use crate::prepared::Prepared;
 use crate::queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 use crate::report::RunReport;
+use crate::snapshot::Snapshot;
 
 /// One queued event on a shard: the packed payload plus its global
 /// creation stamp `g`. The stamp rides along because relays key their
@@ -603,7 +604,7 @@ pub(crate) fn run_sharded(prepared: &Prepared) -> RunReport {
     if n_shards <= 1 || prepared.end_us == u64::MAX || lossy {
         return prepared.run_unsharded();
     }
-    let delays = DelayMicros::from_delays(&prepared.delays, prepared.d3g.n_nodes());
+    let delays: &DelayMicros = prepared.delay_micros();
     let w = ms_to_us(cfg.comp_delay_ms).saturating_add(delays.min_offdiag_us());
     if w == 0 || w == u64::MAX {
         return prepared.run_unsharded();
@@ -614,18 +615,38 @@ pub(crate) fn run_sharded(prepared: &Prepared) -> RunReport {
     // the same monomorphization with the bound provable.
     match cfg.queue {
         QueueBackend::Calendar => {
-            run_impl::<CalendarQueue<ShardEvent>>(prepared, &delays, n_shards, w)
+            run_impl::<CalendarQueue<ShardEvent>>(prepared, delays, n_shards, w)
         }
-        QueueBackend::Heap => run_impl::<HeapQueue<ShardEvent>>(prepared, &delays, n_shards, w),
+        QueueBackend::Heap => run_impl::<HeapQueue<ShardEvent>>(prepared, delays, n_shards, w),
     }
 }
 
-fn run_impl<Q: EventQueue<ShardEvent> + Send>(
+/// Everything the epoch loop leaves behind when the coordinator exits:
+/// the shard states (queues still holding every event past the drive
+/// cap), the fault runtime, and the run-wide bookkeeping the report
+/// and snapshot merges need.
+struct Driven<Q> {
+    states: Vec<ShardState<Q>>,
+    faults: FaultState,
+    reparented: u64,
+    stream: Vec<(u64, EventKind)>,
+    owner: Vec<u32>,
+}
+
+/// The epoch loop proper: drives every shard until no event at or
+/// before `until_us` remains — and every fault control due by then has
+/// applied — leaving later events parked in the shard queues.
+/// `until_us = u64::MAX` is the full run. A capped drive never lets an
+/// epoch extend past `until_us + 1` and never fires a later control,
+/// so it stops in exactly the state the sequential
+/// `run_until(until_us)` reaches.
+fn drive<Q: EventQueue<ShardEvent> + Send>(
     prepared: &Prepared,
     delays: &DelayMicros,
     n_shards: usize,
     w: u64,
-) -> RunReport {
+    until_us: u64,
+) -> Driven<Q> {
     let cfg = prepared.config();
     let d3g = &prepared.d3g;
     let n_nodes = d3g.n_nodes();
@@ -747,14 +768,16 @@ fn run_impl<Q: EventQueue<ShardEvent> + Send>(
                 // Controls due at or before the next event apply now —
                 // the same precedence the sequential three-way merge
                 // gives them (controls outrank equal-time events, and
-                // trailing controls within the horizon still land).
-                while !faults.is_idle() && faults.next_at() <= t_min.min(end_us) {
+                // trailing controls within the horizon still land) —
+                // but never past the drive cap: `run_until` leaves
+                // later controls pending, so a capped drive must too.
+                while !faults.is_idle() && faults.next_at() <= t_min.min(end_us).min(until_us) {
                     apply_control(&mut faults, &mut guards, &mut reparented);
                 }
-                if t_min == u64::MAX {
+                if t_min == u64::MAX || t_min > until_us {
                     break;
                 }
-                t_min.saturating_add(w).min(faults.next_at())
+                t_min.saturating_add(w).min(faults.next_at()).min(until_us.saturating_add(1))
             };
             epoch_end.store(t_end, Ordering::Release);
             start.wait();
@@ -765,6 +788,19 @@ fn run_impl<Q: EventQueue<ShardEvent> + Send>(
     });
 
     let states: Vec<ShardState<Q>> = shards.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    Driven { states, faults, reparented, stream, owner }
+}
+
+fn run_impl<Q: EventQueue<ShardEvent> + Send>(
+    prepared: &Prepared,
+    delays: &DelayMicros,
+    n_shards: usize,
+    w: u64,
+) -> RunReport {
+    let Driven { states, reparented, owner, .. } =
+        drive::<Q>(prepared, delays, n_shards, w, u64::MAX);
+    let end_us = prepared.end_us;
+    let n_repos = prepared.workload.n_repos();
 
     let mut metrics = Metrics::default();
     for s in &states {
@@ -817,4 +853,158 @@ fn run_impl<Q: EventQueue<ShardEvent> + Send>(
     let fidelity =
         FidelityReport { loss_pct, per_repo_loss_pct: per_repo, pair_losses, duration_ms };
     prepared.report(fidelity, metrics)
+}
+
+/// Barrier-time snapshot entry from [`Prepared::snapshot_at`]: runs
+/// the sharded drive to the epoch barrier at `t_us` and merges the
+/// shard states into one sequential-equivalent [`Snapshot`]. Returns
+/// `None` whenever the sharded drive itself would fall back to the
+/// sequential engine (single shard, unbounded horizon, lossy or
+/// degraded plans, zero lookahead) — the caller snapshots a sequential
+/// session instead.
+pub(crate) fn snapshot_sharded(prepared: &Prepared, t_us: u64) -> Option<Snapshot> {
+    let cfg = prepared.config();
+    let n_shards = cfg.n_shards.min(prepared.workload.n_repos().max(1));
+    let plan = &cfg.fault;
+    let lossy = plan.loss.iter().any(|l| l.prob > 0.0) || !plan.degrade.is_empty();
+    if n_shards <= 1 || prepared.end_us == u64::MAX || lossy {
+        return None;
+    }
+    let delays: &DelayMicros = prepared.delay_micros();
+    let w = ms_to_us(cfg.comp_delay_ms).saturating_add(delays.min_offdiag_us());
+    if w == 0 || w == u64::MAX {
+        return None;
+    }
+    let t_us = t_us.min(prepared.end_us);
+    Some(match cfg.queue {
+        QueueBackend::Calendar => {
+            snapshot_impl::<CalendarQueue<ShardEvent>>(prepared, delays, n_shards, w, t_us)
+        }
+        QueueBackend::Heap => {
+            snapshot_impl::<HeapQueue<ShardEvent>>(prepared, delays, n_shards, w, t_us)
+        }
+    })
+}
+
+/// The snapshot-side merge — the state analogue of `run_impl`'s report
+/// merge, built on the same ownership argument:
+///
+/// * **disseminator** — shard 0's replica (authoritative for the
+///   source row and `source_lists`), every other node's received value
+///   and parent-edge mirror adopted from its owner — the shard that
+///   processed its real deliveries (stale adopted-away edges agree
+///   everywhere: the last write any replica saw for them is the last
+///   pre-crash delivery);
+/// * **fidelity** — a fresh full-workload tracker (correct
+///   measured-pair census where every shard's is partial), source
+///   column from shard 0, each repository column from its owner;
+/// * **pending events** — each shard's non-mutating queue walk with
+///   mirror copies dropped (the owner's copy is the real one), merged
+///   by `(at_us, g)`: run-wide stamps reproduce the sequential
+///   `(at_us, seq)` pop order exactly, and payloads are re-interned
+///   into one fresh tag table (ids are representation — the digest
+///   and the restore both decode);
+/// * **lookahead** — the sequential `run_until` parks the next future
+///   event (stream beating the queue on equal times) in its
+///   lookahead; the merge replays that stash so the restored session
+///   is field-identical to the sequential one;
+/// * **metrics, fault runtime, busy clocks** — the run-end merges,
+///   applied at the barrier (the coordinator's `FaultState` *is* the
+///   sequential one: same compile, same pops, same repair schedule).
+fn snapshot_impl<Q: EventQueue<ShardEvent> + Send>(
+    prepared: &Prepared,
+    delays: &DelayMicros,
+    n_shards: usize,
+    w: u64,
+    t_us: u64,
+) -> Snapshot {
+    let Driven { states, faults, reparented, stream, owner } =
+        drive::<Q>(prepared, delays, n_shards, w, t_us);
+    let n_nodes = prepared.d3g.n_nodes();
+    let n_repos = prepared.workload.n_repos();
+
+    let mut metrics = Metrics::default();
+    for s in &states {
+        let m = &s.metrics;
+        metrics.messages += m.messages;
+        metrics.source_checks += m.source_checks;
+        metrics.repo_checks += m.repo_checks;
+        metrics.source_updates += m.source_updates;
+        metrics.undelivered += m.undelivered;
+        metrics.events += m.events;
+        metrics.dropped += m.dropped;
+        metrics.injected += m.injected;
+        metrics.lost += m.lost;
+        metrics.retransmits += m.retransmits;
+        metrics.reparented += m.reparented;
+    }
+    metrics.reparented += reparented;
+
+    let mut busy_until_us = vec![0u64; n_nodes];
+    for (i, b) in busy_until_us.iter_mut().enumerate() {
+        *b = states[owner[i] as usize].busy_until_us[i];
+    }
+
+    let mut disseminator = states[0].dis.clone();
+    for (i, &o) in owner.iter().enumerate().take(n_nodes) {
+        let o = o as usize;
+        if o != 0 {
+            disseminator.copy_node_state_from(&states[o].dis, NodeIdx(i as u32));
+        }
+    }
+
+    let mut fidelity = FidelityTracker::new(&prepared.workload, &prepared.initial_values, 0);
+    fidelity.copy_source_from(&states[0].fid);
+    for r in 0..n_repos {
+        fidelity.copy_repo_from(&states[owner[r + 1] as usize].fid, r);
+    }
+
+    let mut decoded: Vec<(u64, u64, NodeIdx, Update)> = Vec::new();
+    let mut pending: Vec<(u64, ShardEvent)> = Vec::new();
+    for s in &states {
+        pending.clear();
+        s.queue.snapshot_events(&mut pending);
+        for &(at_us, ev) in &pending {
+            let Event::Arrival { node, update } = ev.kind.classify(&s.tags) else {
+                unreachable!("shard queues hold arrivals only");
+            };
+            if owner[node.index()] == s.id {
+                decoded.push((at_us, ev.g, node, update));
+            }
+        }
+    }
+    decoded.sort_unstable_by_key(|&(at_us, g, _, _)| (at_us, g));
+
+    let mut tags = TagTable::default();
+    let mut queue_events: Vec<(u64, EventKind)> = decoded
+        .iter()
+        .map(|&(at_us, _, node, update)| (at_us, EventKind::arrival(node, update, &mut tags)))
+        .collect();
+
+    let mut stream_cursor = states[0].cursor;
+    let s_at = stream.get(stream_cursor).map_or(u64::MAX, |e| e.0);
+    let q_at = queue_events.first().map_or(u64::MAX, |e| e.0);
+    let mut lookahead = Vec::new();
+    if s_at <= q_at {
+        if let Some(&ev) = stream.get(stream_cursor) {
+            lookahead.push(ev);
+            stream_cursor += 1;
+        }
+    } else {
+        lookahead.push(queue_events.remove(0));
+    }
+
+    Snapshot {
+        now_us: t_us,
+        end_us: prepared.end_us,
+        stream_cursor,
+        busy_until_us,
+        disseminator,
+        fidelity,
+        metrics,
+        tags,
+        lookahead,
+        queue_events,
+        faults,
+    }
 }
